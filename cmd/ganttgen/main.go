@@ -1,0 +1,116 @@
+// ganttgen regenerates the paper's Gantt chart figure (E3): the MSG
+// client/server example with 2 servers and 3 clients; dark portions
+// (#) are computations, light portions (=) communications, dots are
+// receive waits. Concurrent transfers share the network links, so the
+// communications visibly stretch when they interfere.
+//
+//	go run ./cmd/ganttgen [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gantt"
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+const (
+	dataChannel = 22
+	ackChannel  = 23
+)
+
+func main() {
+	width := flag.Int("width", 100, "chart width in columns")
+	rounds := flag.Int("rounds", 3, "requests per client")
+	flag.Parse()
+
+	// The poster's platform: clients behind a hub, servers across a
+	// router — a shared backbone all transfers compete on.
+	pf := platform.New()
+	servers := []string{"server1", "server2"}
+	clients := []string{"client1", "client2", "client3"}
+	must(pf.AddRouter("hub"))
+	must(pf.AddRouter("router"))
+	for _, c := range clients {
+		must(pf.AddHost(&platform.Host{Name: c, Power: 1e9}))
+		must(pf.Connect(c, "hub", &platform.Link{
+			Name: "lan-" + c, Bandwidth: 1.25e7, Latency: 0.0001}))
+	}
+	must(pf.Connect("hub", "router", &platform.Link{
+		Name: "backbone", Bandwidth: 1.25e6, Latency: 0.005}))
+	for _, s := range servers {
+		must(pf.AddHost(&platform.Host{Name: s, Power: 1e9}))
+		must(pf.Connect("router", s, &platform.Link{
+			Name: "lan-" + s, Bandwidth: 1.25e7, Latency: 0.0001}))
+	}
+	must(pf.ComputeRoutes())
+
+	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+	env.Gantt = &gantt.Recorder{}
+
+	for _, s := range servers {
+		_, err := env.NewProcess(s, s, func(p *msg.Process) error {
+			p.Daemonize()
+			for {
+				task, err := p.Get(dataChannel)
+				if err != nil {
+					return err
+				}
+				if err := p.Execute(task); err != nil {
+					return err
+				}
+				ack := msg.NewTask("Ack", 0, 0.01e6)
+				if err := p.Put(ack, task.Source().Name, ackChannel); err != nil {
+					return err
+				}
+			}
+		})
+		must(err)
+	}
+	for i, c := range clients {
+		server := servers[i%len(servers)]
+		_, err := env.NewProcess(c, c, func(p *msg.Process) error {
+			for r := 0; r < *rounds; r++ {
+				remote := msg.NewTask("Remote", 30e6, 3.2e6)
+				if err := p.Put(remote, server, dataChannel); err != nil {
+					return err
+				}
+				local := msg.NewTask("Local", 10.5e6, 3.2e6)
+				if err := p.Execute(local); err != nil {
+					return err
+				}
+				if _, err := p.Get(ackChannel); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		must(err)
+	}
+
+	must(env.Run())
+
+	fmt.Printf("Gantt chart for %d clients × %d rounds against %d servers "+
+		"(ends at t=%.3f s)\n", len(clients), *rounds, len(servers), env.Now())
+	fmt.Println("dark (#): computation   light (=): communication   dots (.): waiting")
+	fmt.Println()
+	must(env.Gantt.Render(os.Stdout, *width))
+
+	fmt.Println("\nper-track totals (seconds):")
+	for _, tr := range env.Gantt.Tracks() {
+		tot := env.Gantt.TotalByKind(tr)
+		fmt.Printf("  %-9s compute %6.3f   comm %6.3f   wait %6.3f\n",
+			tr, tot[gantt.Compute], tot[gantt.Comm], tot[gantt.Wait])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+// pastrybench regenerates the paper's two GRAS tables (E5/E6): the
+// average time to exchange one Pastry message between PowerPC, Sparc
+// and x86 hosts, for GRAS, MPICH, OmniORB, PBIO and XML-based
+// communication, on a LAN and on a WAN (California–France).
+//
+//	go run ./cmd/pastrybench [-net lan|wan|both] [-iters 50] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/pastry"
+)
+
+func main() {
+	netFlag := flag.String("net", "both", "lan | wan | both")
+	iters := flag.Int("iters", 50, "encode/decode iterations per cell")
+	verbose := flag.Bool("v", false, "also print per-cell encode/decode costs and wire sizes")
+	flag.Parse()
+
+	cells, err := pastry.Measure(*iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *netFlag == "lan" || *netFlag == "both" {
+		pastry.Table(os.Stdout, cells, pastry.LAN)
+		fmt.Println()
+	}
+	if *netFlag == "wan" || *netFlag == "both" {
+		pastry.Table(os.Stdout, cells, pastry.WAN)
+		fmt.Println()
+	}
+
+	if *verbose {
+		fmt.Println("per-cell detail (encode/decode measured on this machine):")
+		for _, c := range cells {
+			if !c.Supported {
+				fmt.Printf("  %-8s %5s->%-5s n/a\n", c.Codec, c.From.Name, c.To.Name)
+				continue
+			}
+			fmt.Printf("  %-8s %5s->%-5s enc %9v  dec %9v  wire %7d B\n",
+				c.Codec, c.From.Name, c.To.Name, c.Encode, c.Decode, c.WireBytes)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// simgrid-run loads a JSON platform file and a JSON deployment file and
+// executes the simulation — the reproduction's equivalent of running a
+// SimGrid MSG binary with platform.xml and deployment.xml. A small
+// built-in registry of generic process functions covers bag-of-tasks
+// style applications:
+//
+//	master <ntasks> <flops> <bytes> <worker...>  — dispatch a bag
+//	worker                                       — serve tasks (daemon)
+//	pinger <dest> <count> <bytes>                — latency probe
+//	ponger                                       — echo (daemon)
+//	sleeper <seconds>                            — placeholder load
+//
+// Example:
+//
+//	go run ./cmd/simgrid-run -platform testdata/cluster.json \
+//	    -deploy testdata/bag.json -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/deploy"
+	"repro/internal/gantt"
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+const (
+	workChannel   = 1
+	resultChannel = 2
+	pingChannel   = 3
+	pongChannel   = 4
+)
+
+func main() {
+	platformPath := flag.String("platform", "", "platform JSON file")
+	deployPath := flag.String("deploy", "", "deployment JSON file")
+	showGantt := flag.Bool("gantt", false, "print a Gantt chart after the run")
+	width := flag.Int("width", 100, "gantt width")
+	flag.Parse()
+	if *platformPath == "" || *deployPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pf, err := platform.LoadFile(*platformPath)
+	if err != nil {
+		log.Fatalf("loading platform: %v", err)
+	}
+	spec, err := deploy.LoadFile(*deployPath)
+	if err != nil {
+		log.Fatalf("loading deployment: %v", err)
+	}
+
+	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+	if *showGantt {
+		env.Gantt = &gantt.Recorder{}
+	}
+
+	if err := deploy.Run(env, spec, registry()); err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	fmt.Printf("simulation finished at t=%.6f s\n", env.Now())
+	if *showGantt {
+		fmt.Println()
+		if err := env.Gantt.Render(os.Stdout, *width); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// registry returns the built-in generic process functions.
+func registry() deploy.Registry {
+	return deploy.Registry{
+		"master":  master,
+		"worker":  worker,
+		"pinger":  pinger,
+		"ponger":  ponger,
+		"sleeper": sleeper,
+	}
+}
+
+// master <ntasks> <flops> <bytes> <worker hosts...>
+func master(p *msg.Process, args []string) error {
+	if len(args) < 4 {
+		return fmt.Errorf("master needs: ntasks flops bytes worker...")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		return err
+	}
+	flops, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return err
+	}
+	bytes, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return err
+	}
+	workers := args[3:]
+	// Results are collected by a separate (non-daemon) process, the
+	// standard MSG idiom: rendezvous puts to a busy worker would
+	// otherwise deadlock against that worker's own result put. The
+	// simulation ends when the collector got everything.
+	if _, err := p.Spawn("collector", p.Host().Name, func(c *msg.Process) error {
+		for i := 0; i < n; i++ {
+			if _, err := c.Get(resultChannel); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("[%10.6f] master: %d results collected\n", c.Now(), n)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		t := msg.NewTask(fmt.Sprintf("job%03d", i), flops, bytes)
+		if err := p.Put(t, workers[i%len(workers)], workChannel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worker serves tasks forever: execute, return a small result.
+func worker(p *msg.Process, args []string) error {
+	for {
+		task, err := p.Get(workChannel)
+		if err != nil {
+			return err
+		}
+		if err := p.Execute(task); err != nil {
+			return err
+		}
+		res := msg.NewTask("result:"+task.Name, 0, 1e4)
+		if err := p.Put(res, task.Source().Name, resultChannel); err != nil {
+			return err
+		}
+	}
+}
+
+// pinger <dest> <count> <bytes>
+func pinger(p *msg.Process, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("pinger needs: dest count bytes")
+	}
+	dest := args[0]
+	count, err := strconv.Atoi(args[1])
+	if err != nil {
+		return err
+	}
+	bytes, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		t0 := p.Now()
+		if err := p.Put(msg.NewTask("ping", 0, bytes), dest, pingChannel); err != nil {
+			return err
+		}
+		if _, err := p.Get(pongChannel); err != nil {
+			return err
+		}
+		fmt.Printf("[%10.6f] pinger: rtt %.6f s\n", p.Now(), p.Now()-t0)
+	}
+	return nil
+}
+
+// ponger echoes pings back.
+func ponger(p *msg.Process, args []string) error {
+	for {
+		t, err := p.Get(pingChannel)
+		if err != nil {
+			return err
+		}
+		if err := p.Put(msg.NewTask("pong", 0, t.Bytes), t.Source().Name, pongChannel); err != nil {
+			return err
+		}
+	}
+}
+
+// sleeper <seconds>
+func sleeper(p *msg.Process, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("sleeper needs: seconds")
+	}
+	d, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return err
+	}
+	return p.Sleep(d)
+}

@@ -1,0 +1,41 @@
+// validate regenerates the paper's validation figure (E1) and the
+// "orders of magnitude faster" claim (E2): a random BRITE/Waxman
+// topology, 10 random flows of 100 MB, compared across the SimGrid
+// fluid model and the NS2/GTNets packet-level stand-ins.
+//
+//	go run ./cmd/validate [-nodes 10] [-flows 10] [-mb 100] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/platform"
+	"repro/internal/surf"
+	"repro/internal/validate"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 10, "routers in the Waxman topology")
+	flows := flag.Int("flows", 10, "number of random flows")
+	mb := flag.Float64("mb", 100, "megabytes per flow")
+	seed := flag.Int64("seed", 42, "topology seed")
+	flowSeed := flag.Int64("flowseed", 7, "flow selection seed")
+	flag.Parse()
+
+	fmt.Printf("validation experiment: %d-router Waxman topology (seed %d), "+
+		"%d flows × %g MB\n\n", *nodes, *seed, *flows, *mb)
+
+	pf, err := platform.GenerateWaxman(platform.DefaultWaxmanConfig(*nodes, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := validate.RandomFlows(pf, *flows, *mb*1e6, *flowSeed)
+	res, err := validate.Run(pf, specs, surf.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Report(os.Stdout)
+}

@@ -1,0 +1,130 @@
+// Master/worker on a commodity cluster — the paper's first target
+// application class ("a parallel linear system solver on a commodity
+// cluster"). A master distributes a bag of compute tasks to workers
+// over a shared switch, collecting results; the run prints per-worker
+// statistics and a Gantt chart of the execution.
+//
+//	go run ./examples/masterworker [-workers N] [-tasks T]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gantt"
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+const (
+	workChannel   = 1
+	resultChannel = 2
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "number of worker hosts")
+	tasks := flag.Int("tasks", 16, "number of tasks in the bag")
+	flag.Parse()
+
+	pf := platform.New()
+	must(pf.AddRouter("switch"))
+	must(pf.AddHost(&platform.Host{Name: "master", Power: 1e9}))
+	must(pf.Connect("master", "switch",
+		&platform.Link{Name: "eth-master", Bandwidth: 1.25e8, Latency: 5e-5}))
+	workerNames := make([]string, *workers)
+	for i := range workerNames {
+		// Heterogeneous workers: power alternates 1 / 1.5 Gflop/s.
+		name := fmt.Sprintf("worker%d", i)
+		workerNames[i] = name
+		power := 1e9
+		if i%2 == 1 {
+			power = 1.5e9
+		}
+		must(pf.AddHost(&platform.Host{Name: name, Power: power}))
+		must(pf.Connect(name, "switch",
+			&platform.Link{Name: "eth-" + name, Bandwidth: 1.25e8, Latency: 5e-5}))
+	}
+	must(pf.ComputeRoutes())
+
+	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+	env.Gantt = &gantt.Recorder{}
+
+	done := make(map[string]int)
+
+	for _, wn := range workerNames {
+		wn := wn
+		_, err := env.NewProcess(wn, wn, func(p *msg.Process) error {
+			for {
+				task, err := p.Get(workChannel)
+				if err != nil {
+					return err
+				}
+				if task.Data == "poison" {
+					return nil
+				}
+				if err := p.Execute(task); err != nil {
+					return err
+				}
+				done[p.Name()]++
+				res := msg.NewTask("result:"+task.Name, 0, 1e4)
+				if err := p.Put(res, "master", resultChannel); err != nil {
+					return err
+				}
+			}
+		})
+		must(err)
+	}
+
+	// Task puts block until the worker picks the task up (rendezvous),
+	// so dispatching and result collection run as two processes on the
+	// master host — the standard MSG idiom for a bag-of-tasks master.
+	_, err := env.NewProcess("dispatcher", "master", func(p *msg.Process) error {
+		// Ship the bag round-robin: 250 MFlop + 1 MB input each.
+		for i := 0; i < *tasks; i++ {
+			t := msg.NewTask(fmt.Sprintf("job%02d", i), 250e6, 1e6)
+			if err := p.Put(t, workerNames[i%len(workerNames)], workChannel); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	must(err)
+
+	_, err = env.NewProcess("collector", "master", func(p *msg.Process) error {
+		// Collect every result, then poison the workers.
+		for i := 0; i < *tasks; i++ {
+			if _, err := p.Get(resultChannel); err != nil {
+				return err
+			}
+		}
+		for _, wn := range workerNames {
+			t := msg.NewTask("stop", 0, 100)
+			t.Data = "poison"
+			if err := p.Put(t, wn, workChannel); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	must(err)
+
+	must(env.Run())
+
+	fmt.Printf("bag of %d tasks on %d workers finished at t=%.4f s\n\n",
+		*tasks, *workers, env.Now())
+	for _, wn := range workerNames {
+		fmt.Printf("  %-10s completed %2d tasks (host power %.1f Gflop/s)\n",
+			wn, done[wn], pf.Host(wn).Power/1e9)
+	}
+	fmt.Println("\nGantt chart (# compute, = comm, . idle-wait):")
+	must(env.Gantt.Render(os.Stdout, 100))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: the paper's MSG client/server example, verbatim in shape.
+// A client ships a 30 MFlop / 3.2 MB task to a server, executes a local
+// 10.5 MFlop task, and waits for a 10 kB ack, all over a simulated LAN.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+const (
+	port22 = 22 // data channel (the paper's PORT_22)
+	port23 = 23 // ack channel (the paper's PORT_23)
+)
+
+func main() {
+	// Two 1 Gflop/s hosts joined by a 100 Mbit/s, 0.1 ms LAN link.
+	pf := platform.New()
+	must(pf.AddHost(&platform.Host{Name: "client_host", Power: 1e9}))
+	must(pf.AddHost(&platform.Host{Name: "server_host", Power: 1e9}))
+	lan := &platform.Link{Name: "lan", Bandwidth: 1.25e7, Latency: 0.0001}
+	must(pf.AddRoute("client_host", "server_host", []*platform.Link{lan}))
+
+	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+
+	// int server(...) { while(1) { get; execute; put ack; } }
+	_, err := env.NewProcess("server", "server_host", func(p *msg.Process) error {
+		p.Daemonize()
+		for {
+			task, err := p.Get(port22)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%8.4fs] server: received %q\n", p.Now(), task.Name)
+			if err := p.Execute(task); err != nil {
+				return err
+			}
+			fmt.Printf("[%8.4fs] server: executed %q\n", p.Now(), task.Name)
+			ack := msg.NewTask("Ack", 0, 0.01e6) // 0 MFlop, 10 kB
+			if err := p.Put(ack, task.Source().Name, port23); err != nil {
+				return err
+			}
+		}
+	})
+	must(err)
+
+	// int client(...) { put remote; execute local; get ack; }
+	_, err = env.NewProcess("client", "client_host", func(p *msg.Process) error {
+		remote := msg.NewTask("Remote", 30e6, 3.2e6) // 30 MFlop, 3.2 MB
+		if err := p.Put(remote, "server_host", port22); err != nil {
+			return err
+		}
+		fmt.Printf("[%8.4fs] client: sent %q\n", p.Now(), remote.Name)
+
+		local := msg.NewTask("Local", 10.5e6, 3.2e6) // 10.5 MFlop
+		if err := p.Execute(local); err != nil {
+			return err
+		}
+		fmt.Printf("[%8.4fs] client: executed %q\n", p.Now(), local.Name)
+
+		ack, err := p.Get(port23)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%8.4fs] client: received %q — done\n", p.Now(), ack.Name)
+		return nil
+	})
+	must(err)
+
+	must(env.Run())
+	fmt.Printf("simulation finished at t=%.4f s\n", env.Now())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

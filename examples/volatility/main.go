@@ -1,0 +1,120 @@
+// Volatile hosts: a peer-to-peer-style workload on hosts whose CPU
+// availability varies with external load and which suffer transient
+// failures, both driven by traces — the paper's "trace-based simulation
+// of performance variations due to external load" and "of dynamic
+// resource failures" ("a peer-to-peer file-sharing application running
+// on volatile Internet hosts").
+//
+//	go run ./examples/volatility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+	"repro/internal/trace"
+)
+
+func main() {
+	pf := platform.New()
+
+	// A stable server and two volatile peers.
+	must(pf.AddHost(&platform.Host{Name: "server", Power: 2e9}))
+
+	// peer1: CPU availability oscillates between 100% and 30%.
+	avail := trace.MustNew("peer1-load", []trace.Event{
+		{Time: 0, Value: 1.0},
+		{Time: 5, Value: 0.3},
+	}, 10)
+	must(pf.AddHost(&platform.Host{Name: "peer1", Power: 1e9, Availability: avail}))
+
+	// peer2: fails at t=12 and recovers at t=20 (transient failure).
+	state := trace.MustNew("peer2-state", []trace.Event{
+		{Time: 12, Value: 0},
+		{Time: 20, Value: 1},
+	}, 0)
+	must(pf.AddHost(&platform.Host{Name: "peer2", Power: 1e9, StateTrace: state}))
+
+	must(pf.AddRouter("net"))
+	for _, h := range []string{"server", "peer1", "peer2"} {
+		l := &platform.Link{Name: "up-" + h, Bandwidth: 1.25e6, Latency: 0.01}
+		must(pf.Connect(h, "net", l))
+	}
+	must(pf.ComputeRoutes())
+
+	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+
+	// The server hands out work units forever.
+	_, err := env.NewProcess("server", "server", func(p *msg.Process) error {
+		p.Daemonize()
+		for i := 0; ; i++ {
+			req, err := p.Get(1)
+			if err != nil {
+				return err
+			}
+			unit := msg.NewTask(fmt.Sprintf("unit%03d", i), 500e6, 1e5)
+			if err := p.Put(unit, req.Source().Name, 2); err != nil {
+				return err
+			}
+		}
+	})
+	must(err)
+
+	// Peers request, compute, repeat — until the simulation horizon.
+	// peer2 dies mid-computation at t=12 (its process is killed) and is
+	// restarted by a monitor when the host recovers.
+	peerLoop := func(p *msg.Process) error {
+		for {
+			if err := p.Put(msg.NewTask("request", 0, 1e3), "server", 1); err != nil {
+				return err
+			}
+			unit, err := p.Get(2)
+			if err != nil {
+				return err
+			}
+			start := p.Now()
+			if err := p.Execute(unit); err != nil {
+				return err
+			}
+			fmt.Printf("[%7.3fs] %s computed %s in %.3f s\n",
+				p.Now(), p.Name(), unit.Name, p.Now()-start)
+		}
+	}
+	launch := func(name, host string) {
+		pr, err := env.NewProcess(name, host, peerLoop)
+		must(err)
+		pr.Daemonize()
+	}
+	launch("peer1", "peer1")
+	launch("peer2", "peer2")
+
+	// A monitor process observes peer2's crash and restarts it after
+	// the host comes back (the paper's volatile-Internet-hosts story).
+	_, err = env.NewProcess("monitor", "server", func(p *msg.Process) error {
+		for p.Now() < 30 {
+			p.Sleep(1)
+			if !env.Model().HostUp("peer2") {
+				fmt.Printf("[%7.3fs] monitor: peer2 is DOWN\n", p.Now())
+				for !env.Model().HostUp("peer2") {
+					p.Sleep(1)
+				}
+				fmt.Printf("[%7.3fs] monitor: peer2 is back, restarting its process\n", p.Now())
+				launch("peer2", "peer2")
+			}
+		}
+		return nil
+	})
+	must(err)
+
+	must(env.Run())
+	fmt.Printf("simulation horizon reached at t=%.3f s\n", env.Now())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,604 @@
+// Package core implements the discrete-event simulation kernel
+// underlying the whole stack: a virtual clock, a timed-event queue, and
+// cooperative scheduling of simulated processes.
+//
+// Each simulated process runs in its own goroutine (the paper's
+// "processes in a single address space"; goroutines map naturally onto
+// SimGrid's ucontexts). The kernel enforces strictly one-at-a-time
+// execution with a channel ping-pong: the engine resumes a process and
+// waits for it to yield back before touching simulation state again.
+// This makes runs deterministic and keeps all simulation state free of
+// locks.
+//
+// Resource models (package surf) plug into the engine through the Model
+// interface: the engine asks every model for its next completion time,
+// advances the clock to the earliest event (model completion or timer),
+// fires timers, and lets models complete actions — which wakes the
+// processes blocked on them.
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// State describes a simulated process's lifecycle stage.
+type State int
+
+// Process lifecycle states.
+const (
+	// Created means the process exists but has not run yet.
+	Created State = iota
+	// Runnable means the process is in the run queue.
+	Runnable
+	// Running means the process is the one currently executing.
+	Running
+	// Waiting means the process is blocked in a simcall.
+	Waiting
+	// Done means the process function returned or the process was killed.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Waiting:
+		return "waiting"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrKilled is delivered to a process that is forcibly terminated.
+var ErrKilled = errors.New("core: process killed")
+
+// ErrHostFailed is delivered to processes whose current activity was
+// aborted by a resource failure.
+var ErrHostFailed = errors.New("core: host failed")
+
+// ErrLinkFailed is delivered when a network resource on the activity's
+// route failed.
+var ErrLinkFailed = errors.New("core: link failed")
+
+// DeadlockError is returned by Run when processes remain but nothing can
+// make progress (no pending action, no timer).
+type DeadlockError struct {
+	// Blocked lists the names of the processes stuck in a simcall.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: simulation deadlocked with %d blocked processes: %v", len(e.Blocked), e.Blocked)
+}
+
+// killedSignal unwinds a killed process's stack through panic/recover so
+// that its defers run even if user code ignores returned errors.
+type killedSignal struct{}
+
+// Model is a resource model advancing a set of actions in virtual time.
+type Model interface {
+	// NextEventTime returns the earliest absolute time at which an
+	// action managed by this model completes, or +Inf if none.
+	NextEventTime(now float64) float64
+	// AdvanceTo integrates action progress from now to t and completes
+	// every action finishing at t, waking its waiters via Engine.Wake.
+	AdvanceTo(now, t float64)
+}
+
+// Process is a simulated process. It must only be manipulated from
+// simulation context (inside process functions or timer callbacks).
+type Process struct {
+	pid  int
+	name string
+	host any // opaque to the kernel; upper layers store their host here
+
+	engine *Engine
+	fn     func(*Process)
+
+	resume  chan error // kernel -> process (value: wake error)
+	state   State
+	wakeErr error
+
+	killed      bool
+	suspended   bool
+	selfSuspend bool   // blocked because it suspended itself
+	pendingWake *error // wake that arrived while suspended
+	daemon      bool
+
+	// OnSuspend and OnResume, when non-nil, are invoked by
+	// Suspend/Resume so resource layers can zero / restore the sharing
+	// weight of the process's in-flight action.
+	OnSuspend func()
+	OnResume  func()
+
+	onExit []func(err error)
+	exited bool
+	err    error // termination cause (nil for normal return)
+}
+
+// PID returns the process identifier (unique per engine, starting at 1).
+func (p *Process) PID() int { return p.pid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Host returns the opaque host cookie set at spawn time.
+func (p *Process) Host() any { return p.host }
+
+// SetHost updates the host cookie (process migration).
+func (p *Process) SetHost(h any) { p.host = h }
+
+// State returns the process state.
+func (p *Process) State() State { return p.state }
+
+// Engine returns the engine the process belongs to.
+func (p *Process) Engine() *Engine { return p.engine }
+
+// Daemonize marks the process as a daemon: the simulation may end while
+// daemons are still blocked (they are killed at engine shutdown). The
+// paper's infinite-loop servers are daemons in our reproduction.
+func (p *Process) Daemonize() {
+	if !p.daemon && p.state != Done {
+		p.daemon = true
+		p.engine.live--
+	}
+}
+
+// Daemon reports whether the process is a daemon.
+func (p *Process) Daemon() bool { return p.daemon }
+
+// OnExit registers fn to run (in kernel context) when the process
+// terminates; err is nil for a normal return.
+func (p *Process) OnExit(fn func(err error)) { p.onExit = append(p.onExit, fn) }
+
+// Err returns the termination cause after the process is Done.
+func (p *Process) Err() error { return p.err }
+
+// timer is a scheduled callback in the future event set.
+type timer struct {
+	at       float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// Timer handles a scheduled callback; Cancel prevents it from firing.
+type Timer struct{ t *timer }
+
+// Cancel prevents the timer from firing. Safe to call multiple times.
+func (t *Timer) Cancel() {
+	if t != nil && t.t != nil {
+		t.t.canceled = true
+	}
+}
+
+// Time returns the absolute simulated time the timer fires at.
+func (t *Timer) Time() float64 { return t.t.at }
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is the simulation kernel. Create one with New, spawn processes,
+// register models, then call Run.
+type Engine struct {
+	now     float64
+	procs   map[int]*Process
+	runQ    []*Process
+	yieldCh chan *Process
+	timers  timerHeap
+	models  []Model
+	nextPID int
+	nextSeq int64
+	current *Process
+	live    int // non-daemon processes not yet Done
+	liveAll int // all processes not yet Done
+	fatal   error
+	running bool
+
+	// MaxTime, when > 0, stops the simulation at that virtual time even
+	// if activities remain (useful for steady-state measurements).
+	MaxTime float64
+}
+
+// New returns an empty simulation engine at time 0.
+func New() *Engine {
+	return &Engine{
+		procs:   make(map[int]*Process),
+		yieldCh: make(chan *Process),
+		nextPID: 1,
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// AddModel registers a resource model with the engine.
+func (e *Engine) AddModel(m Model) { e.models = append(e.models, m) }
+
+// Current returns the currently executing process, or nil when called
+// from kernel context (timer callbacks, model completion).
+func (e *Engine) Current() *Process { return e.current }
+
+// ProcessCount returns the number of processes not yet terminated.
+func (e *Engine) ProcessCount() int { return e.liveAll }
+
+// Processes returns the live processes sorted by PID.
+func (e *Engine) Processes() []*Process {
+	out := make([]*Process, 0, len(e.procs))
+	for _, p := range e.procs {
+		if p.state != Done {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// ProcessByPID returns the live process with the given PID, or nil.
+func (e *Engine) ProcessByPID(pid int) *Process {
+	p := e.procs[pid]
+	if p == nil || p.state == Done {
+		return nil
+	}
+	return p
+}
+
+// Spawn creates a simulated process executing fn. The process starts
+// when the engine next schedules it (immediately at the current virtual
+// time if the simulation is running). host is an opaque cookie exposed
+// via Process.Host.
+func (e *Engine) Spawn(name string, host any, fn func(*Process)) *Process {
+	p := &Process{
+		pid:    e.nextPID,
+		name:   name,
+		host:   host,
+		engine: e,
+		fn:     fn,
+		resume: make(chan error),
+		state:  Created,
+	}
+	e.nextPID++
+	e.procs[p.pid] = p
+	e.live++
+	e.liveAll++
+
+	go func() {
+		err := <-p.resume // wait for first schedule
+		if err == nil && p.killed {
+			err = ErrKilled // killed before it ever ran
+		}
+		if err == nil {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(killedSignal); ok {
+							p.err = ErrKilled
+							return
+						}
+						// Real user panic: surface it through Run.
+						e.fatal = fmt.Errorf("core: process %q (pid %d) panicked: %v", p.name, p.pid, r)
+					}
+				}()
+				p.fn(p)
+			}()
+		} else {
+			p.err = err
+		}
+		e.terminate(p)
+		e.yieldCh <- p
+	}()
+
+	p.state = Runnable
+	e.runQ = append(e.runQ, p)
+	return p
+}
+
+// terminate finalizes a process in kernel handoff context.
+func (e *Engine) terminate(p *Process) {
+	p.state = Done
+	if !p.exited {
+		p.exited = true
+		if !p.daemon {
+			e.live--
+		}
+		e.liveAll--
+		for i := len(p.onExit) - 1; i >= 0; i-- {
+			p.onExit[i](p.err)
+		}
+	}
+	delete(e.procs, p.pid)
+}
+
+// At schedules fn to run in kernel context at absolute virtual time t
+// (clamped to the current time if in the past).
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	tm := &timer{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.timers, tm)
+	return &Timer{t: tm}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer { return e.At(e.now+d, fn) }
+
+// Wake makes a Waiting process runnable again, delivering err as the
+// result of its pending Block call. Waking a suspended process defers
+// delivery until Resume. Waking a non-waiting process is a no-op.
+func (e *Engine) Wake(p *Process, err error) {
+	if p.state != Waiting {
+		return
+	}
+	if p.suspended && !p.selfSuspend {
+		ec := err
+		p.pendingWake = &ec
+		return
+	}
+	p.wakeErr = err
+	p.state = Runnable
+	e.runQ = append(e.runQ, p)
+}
+
+// Block yields the calling process until the kernel wakes it (action
+// completion, timer, Wake). It returns the error passed to Wake. If the
+// process was killed while blocked, Block unwinds the stack (running
+// defers) instead of returning.
+func (p *Process) Block() error {
+	if p.engine.current != p {
+		panic("core: Block called outside the running process")
+	}
+	p.state = Waiting
+	p.engine.yieldCh <- p
+	err := <-p.resume
+	p.state = Running
+	if p.killed {
+		panic(killedSignal{})
+	}
+	return err
+}
+
+// Yield gives other runnable processes a chance to run at the current
+// virtual time, then resumes.
+func (p *Process) Yield() {
+	e := p.engine
+	p.state = Runnable
+	e.runQ = append(e.runQ, p)
+	e.yieldCh <- p
+	<-p.resume
+	p.state = Running
+	if p.killed {
+		panic(killedSignal{})
+	}
+}
+
+// Sleep blocks the process for d virtual seconds.
+func (p *Process) Sleep(d float64) error {
+	if d < 0 {
+		d = 0
+	}
+	e := p.engine
+	e.At(e.now+d, func() { e.Wake(p, nil) })
+	return p.Block()
+}
+
+// Kill forcibly terminates the target process. A process killing itself
+// unwinds immediately; killing another process takes effect the next
+// time that process is scheduled (its pending simcall aborts).
+func (p *Process) Kill() {
+	if p.state == Done {
+		return
+	}
+	p.killed = true
+	e := p.engine
+	if e.current == p {
+		panic(killedSignal{})
+	}
+	switch p.state {
+	case Waiting:
+		p.suspended = false
+		p.wakeErr = ErrKilled
+		p.state = Runnable
+		e.runQ = append(e.runQ, p)
+	case Created:
+		// Not yet started: schedule so the goroutine can terminate.
+		p.wakeErr = ErrKilled
+		p.state = Runnable
+		e.runQ = append(e.runQ, p)
+	}
+	// Runnable processes die when popped from the queue.
+}
+
+// Suspend pauses the process. Suspending the current process blocks it
+// until Resume; suspending another process prevents it from being
+// scheduled and freezes its in-flight action via OnSuspend.
+func (p *Process) Suspend() {
+	if p.state == Done || p.suspended {
+		return
+	}
+	p.suspended = true
+	if p.OnSuspend != nil {
+		p.OnSuspend()
+	}
+	if p.engine.current == p {
+		p.selfSuspend = true
+		_ = p.Block()
+		p.selfSuspend = false
+	}
+}
+
+// Resume unpauses a suspended process, delivering any wake-up that
+// arrived while it slept.
+func (p *Process) Resume() {
+	if p.state == Done || !p.suspended {
+		return
+	}
+	p.suspended = false
+	if p.OnResume != nil {
+		p.OnResume()
+	}
+	e := p.engine
+	switch {
+	case p.pendingWake != nil:
+		err := *p.pendingWake
+		p.pendingWake = nil
+		e.Wake(p, err)
+	case p.selfSuspend:
+		e.Wake(p, nil)
+	}
+}
+
+// Suspended reports whether the process is currently suspended.
+func (p *Process) Suspended() bool { return p.suspended }
+
+// Run executes the simulation until no non-daemon process remains, the
+// optional MaxTime horizon is reached, or a deadlock is detected. At
+// shutdown, remaining daemons are discarded. Run returns a
+// *DeadlockError if blocked non-daemon processes can never progress, or
+// the panic error of a crashing process.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("core: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		// Phase 1: run every runnable process to its next simcall.
+		for len(e.runQ) > 0 && e.fatal == nil {
+			p := e.runQ[0]
+			e.runQ = e.runQ[1:]
+			if p.state == Done {
+				continue
+			}
+			if p.suspended && !p.killed {
+				// Park: keep it Waiting until Resume.
+				p.state = Waiting
+				ec := p.wakeErr
+				p.pendingWake = &ec
+				continue
+			}
+			e.current = p
+			p.state = Running
+			p.resume <- p.wakeErr
+			<-e.yieldCh
+			e.current = nil
+		}
+		if e.fatal != nil {
+			return e.fatal
+		}
+		if e.live <= 0 {
+			e.shutdownDaemons()
+			return nil
+		}
+
+		// Phase 2: find the next event.
+		next := math.Inf(1)
+		for _, m := range e.models {
+			if t := m.NextEventTime(e.now); t < next {
+				next = t
+			}
+		}
+		for len(e.timers) > 0 && e.timers[0].canceled {
+			heap.Pop(&e.timers)
+		}
+		if len(e.timers) > 0 && e.timers[0].at < next {
+			next = e.timers[0].at
+		}
+		if math.IsInf(next, 1) {
+			var blocked []string
+			for _, p := range e.Processes() {
+				if !p.daemon {
+					blocked = append(blocked, p.name)
+				}
+			}
+			return &DeadlockError{Blocked: blocked}
+		}
+		if e.MaxTime > 0 && next > e.MaxTime {
+			e.now = e.MaxTime
+			e.shutdownDaemons()
+			return nil
+		}
+
+		// Phase 3: advance the clock and fire everything due at `next`.
+		// Models integrate the elapsed interval first (with the rates
+		// that were in force during it); only then do timers fire, so
+		// trace-driven capacity changes at `next` never apply
+		// retroactively to [prev, next].
+		prev := e.now
+		e.now = next
+		for _, m := range e.models {
+			m.AdvanceTo(prev, e.now)
+		}
+		for len(e.timers) > 0 && e.timers[0].at <= e.now {
+			tm := heap.Pop(&e.timers).(*timer)
+			if !tm.canceled {
+				tm.fn()
+			}
+		}
+	}
+}
+
+// shutdownDaemons kills all remaining (daemon) processes so their defers
+// and exit hooks run.
+func (e *Engine) shutdownDaemons() {
+	for _, p := range e.Processes() {
+		p.killed = true
+		switch p.state {
+		case Waiting, Created:
+			p.suspended = false
+			p.wakeErr = ErrKilled
+			p.state = Runnable
+			e.runQ = append(e.runQ, p)
+		}
+	}
+	for len(e.runQ) > 0 {
+		p := e.runQ[0]
+		e.runQ = e.runQ[1:]
+		if p.state == Done {
+			continue
+		}
+		e.current = p
+		p.state = Running
+		p.resume <- p.wakeErr
+		<-e.yieldCh
+		e.current = nil
+	}
+}

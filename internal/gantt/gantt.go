@@ -1,0 +1,234 @@
+// Package gantt records per-process activity intervals during a
+// simulation and renders them as an ASCII Gantt chart, reproducing the
+// paper's execution figure ("Dark portions denote computations, light
+// portions denote communications").
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an interval.
+type Kind int
+
+// Interval kinds. Compute renders dark ('#'), Comm light ('='), Wait
+// as receive-idle ('.').
+const (
+	Compute Kind = iota
+	Comm
+	Wait
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	case Wait:
+		return "wait"
+	default:
+		return "unknown"
+	}
+}
+
+// glyph is the fill character used when rendering the kind.
+func (k Kind) glyph() byte {
+	switch k {
+	case Compute:
+		return '#'
+	case Comm:
+		return '='
+	case Wait:
+		return '.'
+	default:
+		return '?'
+	}
+}
+
+// Interval is one activity span on a track (usually one simulated
+// process or host per track).
+type Interval struct {
+	Track string
+	Kind  Kind
+	Label string
+	Start float64
+	End   float64
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Recorder accumulates intervals. The zero value is ready to use.
+type Recorder struct {
+	intervals []Interval
+	open      map[string]*Interval // per track, the in-flight interval
+}
+
+// Add records a closed interval.
+func (r *Recorder) Add(track string, kind Kind, label string, start, end float64) {
+	if end < start {
+		start, end = end, start
+	}
+	r.intervals = append(r.intervals, Interval{
+		Track: track, Kind: kind, Label: label, Start: start, End: end,
+	})
+}
+
+// Begin opens an interval on a track; End closes it. At most one
+// interval may be open per track (nested activities close the previous
+// one first).
+func (r *Recorder) Begin(track string, kind Kind, label string, at float64) {
+	if r.open == nil {
+		r.open = make(map[string]*Interval)
+	}
+	if iv := r.open[track]; iv != nil {
+		r.Add(iv.Track, iv.Kind, iv.Label, iv.Start, at)
+	}
+	r.open[track] = &Interval{Track: track, Kind: kind, Label: label, Start: at}
+}
+
+// End closes the open interval on a track, if any.
+func (r *Recorder) End(track string, at float64) {
+	iv := r.open[track]
+	if iv == nil {
+		return
+	}
+	delete(r.open, track)
+	r.Add(iv.Track, iv.Kind, iv.Label, iv.Start, at)
+}
+
+// Intervals returns a copy of the recorded intervals sorted by track
+// then start time.
+func (r *Recorder) Intervals() []Interval {
+	out := make([]Interval, len(r.intervals))
+	copy(out, r.intervals)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// Tracks returns the distinct track names, sorted.
+func (r *Recorder) Tracks() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, iv := range r.intervals {
+		if !seen[iv.Track] {
+			seen[iv.Track] = true
+			out = append(out, iv.Track)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Span returns the (min start, max end) over all intervals.
+func (r *Recorder) Span() (start, end float64) {
+	if len(r.intervals) == 0 {
+		return 0, 0
+	}
+	start, end = math.Inf(1), math.Inf(-1)
+	for _, iv := range r.intervals {
+		if iv.Start < start {
+			start = iv.Start
+		}
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return start, end
+}
+
+// TotalByKind sums interval durations per kind for one track
+// (or all tracks when track is "").
+func (r *Recorder) TotalByKind(track string) map[Kind]float64 {
+	out := make(map[Kind]float64)
+	for _, iv := range r.intervals {
+		if track != "" && iv.Track != track {
+			continue
+		}
+		out[iv.Kind] += iv.Duration()
+	}
+	return out
+}
+
+// Render writes an ASCII Gantt chart, one row per track, `width`
+// columns of timeline. Later intervals overdraw earlier ones; Compute
+// overdraws Comm overdraws Wait within the same cell.
+func (r *Recorder) Render(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	start, end := r.Span()
+	if end <= start {
+		_, err := fmt.Fprintln(w, "(empty gantt)")
+		return err
+	}
+	scale := float64(width) / (end - start)
+	tracks := r.Tracks()
+	nameW := 0
+	for _, tr := range tracks {
+		if len(tr) > nameW {
+			nameW = len(tr)
+		}
+	}
+	// Kind precedence per cell so thin computations stay visible.
+	prec := func(b byte) int {
+		switch b {
+		case '#':
+			return 3
+		case '=':
+			return 2
+		case '.':
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, tr := range tracks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, iv := range r.intervals {
+			if iv.Track != tr {
+				continue
+			}
+			c0 := int((iv.Start - start) * scale)
+			c1 := int(math.Ceil((iv.End - start) * scale))
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c1 > width {
+				c1 = width
+			}
+			g := iv.Kind.glyph()
+			for i := c0; i < c1 && i < width; i++ {
+				if prec(g) >= prec(row[i]) {
+					row[i] = g
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, tr, string(row)); err != nil {
+			return err
+		}
+	}
+	// Time axis.
+	axis := fmt.Sprintf("%-*s +%s+", nameW, "", strings.Repeat("-", width))
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-*s  %-*.3g%*.3g\n", nameW, "", width/2, start, width-width/2, end)
+	return err
+}

@@ -1,0 +1,180 @@
+package gantt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddAndIntervals(t *testing.T) {
+	var r Recorder
+	r.Add("b", Comm, "x", 1, 2)
+	r.Add("a", Compute, "y", 0, 1)
+	r.Add("a", Wait, "z", 1, 3)
+	ivs := r.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	// Sorted by track then start.
+	if ivs[0].Track != "a" || ivs[0].Start != 0 || ivs[2].Track != "b" {
+		t.Errorf("sort order wrong: %+v", ivs)
+	}
+	if ivs[0].Duration() != 1 {
+		t.Errorf("duration = %g", ivs[0].Duration())
+	}
+}
+
+func TestAddSwapsReversedBounds(t *testing.T) {
+	var r Recorder
+	r.Add("a", Compute, "", 5, 2)
+	iv := r.Intervals()[0]
+	if iv.Start != 2 || iv.End != 5 {
+		t.Errorf("bounds not normalized: %+v", iv)
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	var r Recorder
+	r.Begin("p", Compute, "work", 0)
+	r.End("p", 2)
+	ivs := r.Intervals()
+	if len(ivs) != 1 || ivs[0].Start != 0 || ivs[0].End != 2 || ivs[0].Kind != Compute {
+		t.Errorf("intervals = %+v", ivs)
+	}
+}
+
+func TestBeginImplicitlyClosesPrevious(t *testing.T) {
+	var r Recorder
+	r.Begin("p", Compute, "a", 0)
+	r.Begin("p", Comm, "b", 1)
+	r.End("p", 3)
+	ivs := r.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(ivs))
+	}
+	if ivs[0].Kind != Compute || ivs[0].End != 1 {
+		t.Errorf("first = %+v", ivs[0])
+	}
+	if ivs[1].Kind != Comm || ivs[1].Start != 1 || ivs[1].End != 3 {
+		t.Errorf("second = %+v", ivs[1])
+	}
+}
+
+func TestEndWithoutBeginIsNoop(t *testing.T) {
+	var r Recorder
+	r.End("ghost", 1)
+	if len(r.Intervals()) != 0 {
+		t.Error("spurious interval")
+	}
+}
+
+func TestTracksAndSpan(t *testing.T) {
+	var r Recorder
+	r.Add("z", Comm, "", 1, 4)
+	r.Add("a", Compute, "", 0.5, 2)
+	tracks := r.Tracks()
+	if len(tracks) != 2 || tracks[0] != "a" || tracks[1] != "z" {
+		t.Errorf("tracks = %v", tracks)
+	}
+	s, e := r.Span()
+	if s != 0.5 || e != 4 {
+		t.Errorf("span = %g..%g", s, e)
+	}
+}
+
+func TestEmptySpan(t *testing.T) {
+	var r Recorder
+	s, e := r.Span()
+	if s != 0 || e != 0 {
+		t.Errorf("empty span = %g..%g", s, e)
+	}
+}
+
+func TestTotalByKind(t *testing.T) {
+	var r Recorder
+	r.Add("a", Compute, "", 0, 2)
+	r.Add("a", Comm, "", 2, 3)
+	r.Add("b", Compute, "", 0, 5)
+	tot := r.TotalByKind("a")
+	if tot[Compute] != 2 || tot[Comm] != 1 {
+		t.Errorf("per-track totals = %v", tot)
+	}
+	all := r.TotalByKind("")
+	if all[Compute] != 7 {
+		t.Errorf("global compute = %g, want 7", all[Compute])
+	}
+}
+
+func TestRender(t *testing.T) {
+	var r Recorder
+	r.Add("client", Compute, "", 0, 5)
+	r.Add("client", Comm, "", 5, 10)
+	r.Add("server", Wait, "", 0, 5)
+	r.Add("server", Compute, "", 5, 10)
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 20); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "client") || !strings.Contains(out, "server") {
+		t.Errorf("missing tracks:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") || !strings.Contains(out, ".") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 2 tracks + axis + labels
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Client row: first half compute, second half comm.
+	clientRow := lines[0]
+	if !strings.Contains(clientRow, "##########") {
+		t.Errorf("client compute half missing: %q", clientRow)
+	}
+	if !strings.Contains(clientRow, "==========") {
+		t.Errorf("client comm half missing: %q", clientRow)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var r Recorder
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 30); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestRenderTinyIntervalVisible(t *testing.T) {
+	var r Recorder
+	r.Add("p", Comm, "", 0, 100)
+	r.Add("p", Compute, "", 50, 50.001) // sub-pixel computation
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 40); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("tiny interval invisible")
+	}
+}
+
+func TestRenderMinWidth(t *testing.T) {
+	var r Recorder
+	r.Add("p", Compute, "", 0, 1)
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 1); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if len(buf.String()) == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "comm" ||
+		Wait.String() != "wait" || Kind(7).String() != "unknown" {
+		t.Error("kind strings wrong")
+	}
+}

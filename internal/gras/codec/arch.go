@@ -1,0 +1,61 @@
+// Architecture descriptors: the data-representation identity of a host.
+
+package codec
+
+// ByteOrder tags the endianness of an architecture.
+type ByteOrder int
+
+// Byte orders.
+const (
+	LittleEndian ByteOrder = iota
+	BigEndian
+)
+
+func (b ByteOrder) String() string {
+	if b == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// Arch describes a CPU architecture's in-memory data representation.
+// The paper's GRAS ran on 12 CPU architectures; the NDR wire format
+// tags every message with the sender's architecture so that conversion
+// only happens on heterogeneous exchanges and is paid by the receiver
+// ("receiver makes it right").
+type Arch struct {
+	ID    byte
+	Name  string
+	Order ByteOrder
+}
+
+// The three architectures of the paper's Pastry experiment.
+var (
+	ArchX86     = Arch{ID: 0, Name: "x86", Order: LittleEndian}
+	ArchSparc   = Arch{ID: 1, Name: "sparc", Order: BigEndian}
+	ArchPowerPC = Arch{ID: 2, Name: "ppc", Order: BigEndian}
+)
+
+// Archs lists the known architectures indexed by ID.
+var Archs = []Arch{ArchX86, ArchSparc, ArchPowerPC}
+
+// ArchByName resolves an architecture by name ("" defaults to x86).
+func ArchByName(name string) (Arch, bool) {
+	if name == "" {
+		return ArchX86, true
+	}
+	for _, a := range Archs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Arch{}, false
+}
+
+// ArchByID resolves an architecture by wire ID.
+func ArchByID(id byte) (Arch, bool) {
+	if int(id) < len(Archs) {
+		return Archs[id], true
+	}
+	return Arch{}, false
+}

@@ -1,0 +1,246 @@
+// The Codec interface and the shared reflection-driven walk used by the
+// binary codecs.
+
+package codec
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Codec is one wire format of the Pastry comparison.
+type Codec interface {
+	// Name returns the format's display name (as in the paper's table).
+	Name() string
+	// Encode serializes v (which must match d's Go type) as emitted by
+	// architecture `from`. The result is a self-contained frame.
+	Encode(d *Desc, v any, from Arch) ([]byte, error)
+	// Decode rebuilds a value of d's Go type on architecture `to`.
+	Decode(d *Desc, data []byte, to Arch) (any, error)
+}
+
+// All returns one instance of every codec, in the paper's table order.
+func All() []Codec {
+	return []Codec{NDR{}, XDR{}, CDR{}, PBIO{}, XML{}}
+}
+
+// ByName returns the codec with the given name, or nil.
+func ByName(name string) Codec {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// encodeValue walks a described value, writing scalars through w.
+// align enables CDR-style natural alignment.
+func encodeValue(w *writer, d *Desc, v reflect.Value, align bool) error {
+	if align {
+		if sz := d.Kind.FixedSize(); sz > 1 {
+			w.pad(sz)
+		}
+	}
+	switch d.Kind {
+	case KindBool:
+		if v.Bool() {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case KindInt8:
+		w.u8(byte(v.Int()))
+	case KindInt16:
+		w.u16(uint16(v.Int()))
+	case KindInt32:
+		w.u32(uint32(v.Int()))
+	case KindInt64:
+		w.u64(uint64(v.Int()))
+	case KindUint8:
+		w.u8(byte(v.Uint()))
+	case KindUint16:
+		w.u16(uint16(v.Uint()))
+	case KindUint32:
+		w.u32(uint32(v.Uint()))
+	case KindUint64:
+		w.u64(v.Uint())
+	case KindFloat32:
+		w.f32(float32(v.Float()))
+	case KindFloat64:
+		w.f64(v.Float())
+	case KindString:
+		s := v.String()
+		if align {
+			w.pad(4)
+		}
+		w.u32(uint32(len(s)))
+		w.raw([]byte(s))
+	case KindStruct:
+		for _, f := range d.Fields {
+			fv := v.FieldByName(f.Name)
+			if err := encodeValue(w, f.Desc, fv, align); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		if align {
+			w.pad(4)
+		}
+		w.u32(uint32(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := encodeValue(w, d.Elem, v.Index(i), align); err != nil {
+				return err
+			}
+		}
+	case KindArray:
+		for i := 0; i < d.Len; i++ {
+			if err := encodeValue(w, d.Elem, v.Index(i), align); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: cannot encode kind %v", d.Kind)
+	}
+	return nil
+}
+
+// decodeValue reads a described value from r into the addressable
+// reflect.Value v.
+func decodeValue(r *reader, d *Desc, v reflect.Value, align bool) error {
+	if align {
+		if sz := d.Kind.FixedSize(); sz > 1 {
+			if err := r.skipPad(sz); err != nil {
+				return err
+			}
+		}
+	}
+	switch d.Kind {
+	case KindBool:
+		b, err := r.u8()
+		if err != nil {
+			return err
+		}
+		v.SetBool(b != 0)
+	case KindInt8:
+		b, err := r.u8()
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int8(b)))
+	case KindInt16:
+		x, err := r.u16()
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int16(x)))
+	case KindInt32:
+		x, err := r.u32()
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int32(x)))
+	case KindInt64:
+		x, err := r.u64()
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(x))
+	case KindUint8:
+		b, err := r.u8()
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(b))
+	case KindUint16:
+		x, err := r.u16()
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(x))
+	case KindUint32:
+		x, err := r.u32()
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(x))
+	case KindUint64:
+		x, err := r.u64()
+		if err != nil {
+			return err
+		}
+		v.SetUint(x)
+	case KindFloat32:
+		f, err := r.f32()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(float64(f))
+	case KindFloat64:
+		f, err := r.f64()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(f)
+	case KindString:
+		if align {
+			if err := r.skipPad(4); err != nil {
+				return err
+			}
+		}
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		b, err := r.raw(int(n))
+		if err != nil {
+			return err
+		}
+		v.SetString(string(b))
+	case KindStruct:
+		for _, f := range d.Fields {
+			fv := v.FieldByName(f.Name)
+			if err := decodeValue(r, f.Desc, fv, align); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		if align {
+			if err := r.skipPad(4); err != nil {
+				return err
+			}
+		}
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > r.remaining() {
+			return ErrShortBuffer // defensive cap against hostile lengths
+		}
+		sl := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := decodeValue(r, d.Elem, sl.Index(i), align); err != nil {
+				return err
+			}
+		}
+		v.Set(sl)
+	case KindArray:
+		for i := 0; i < d.Len; i++ {
+			if err := decodeValue(r, d.Elem, v.Index(i), align); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: cannot decode kind %v", d.Kind)
+	}
+	return nil
+}
+
+// newValueFor allocates a fresh addressable value of d's Go type.
+func newValueFor(d *Desc) (reflect.Value, error) {
+	t := d.GoType()
+	if t == nil {
+		return reflect.Value{}, fmt.Errorf("codec: description %q has no Go type", d.Name)
+	}
+	return reflect.New(t).Elem(), nil
+}

@@ -1,0 +1,593 @@
+// The five wire formats of the Pastry comparison.
+
+package codec
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// --- GRAS NDR ---------------------------------------------------------------
+
+// NDR is the GRAS native wire format: the payload travels in the
+// sender's native representation, prefixed by one architecture byte.
+// Homogeneous exchanges need no conversion at all; on heterogeneous
+// exchanges only the receiver converts ("receiver makes it right").
+type NDR struct{}
+
+// Name implements Codec.
+func (NDR) Name() string { return "GRAS" }
+
+// Encode implements Codec.
+func (NDR) Encode(d *Desc, v any, from Arch) ([]byte, error) {
+	w := newWriter(from.Order)
+	w.u8(from.ID)
+	if err := encodeValue(w, d, reflect.ValueOf(v), false); err != nil {
+		return nil, err
+	}
+	return w.bytes(), nil
+}
+
+// Decode implements Codec.
+func (NDR) Decode(d *Desc, data []byte, to Arch) (any, error) {
+	if len(data) < 1 {
+		return nil, ErrShortBuffer
+	}
+	sender, ok := ArchByID(data[0])
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown sender architecture %d", data[0])
+	}
+	r := newReader(data[1:], sender.Order) // reads convert only if orders differ
+	out, err := newValueFor(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeValue(r, d, out, false); err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+// --- MPICH-like XDR ---------------------------------------------------------
+
+// XDR is an MPICH-like canonical format: everything is converted to
+// big-endian with 4-byte units on the wire (XDR rules), so *both* sides
+// pay conversion on little-endian hosts and small scalars are inflated
+// to four bytes.
+type XDR struct{}
+
+// Name implements Codec.
+func (XDR) Name() string { return "MPICH" }
+
+// xdrDesc widens sub-4-byte scalars to their XDR on-wire kind.
+func xdrKind(k Kind) Kind {
+	switch k {
+	case KindBool, KindInt8, KindInt16:
+		return KindInt32
+	case KindUint8, KindUint16:
+		return KindUint32
+	default:
+		return k
+	}
+}
+
+// Encode implements Codec.
+func (XDR) Encode(d *Desc, v any, from Arch) ([]byte, error) {
+	w := newWriter(BigEndian)
+	if err := xdrEncode(w, d, reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return w.bytes(), nil
+}
+
+func xdrEncode(w *writer, d *Desc, v reflect.Value) error {
+	switch xdrKind(d.Kind) {
+	case KindInt32:
+		switch d.Kind {
+		case KindBool:
+			if v.Bool() {
+				w.u32(1)
+			} else {
+				w.u32(0)
+			}
+		default:
+			w.u32(uint32(int32(v.Int())))
+		}
+	case KindUint32:
+		if d.Kind == KindUint32 {
+			w.u32(uint32(v.Uint()))
+		} else {
+			w.u32(uint32(v.Uint()))
+		}
+	case KindInt64:
+		w.u64(uint64(v.Int()))
+	case KindUint64:
+		w.u64(v.Uint())
+	case KindFloat32:
+		w.f32(float32(v.Float()))
+	case KindFloat64:
+		w.f64(v.Float())
+	case KindString:
+		s := v.String()
+		w.u32(uint32(len(s)))
+		w.raw([]byte(s))
+		w.pad(4)
+	case KindStruct:
+		for _, f := range d.Fields {
+			if err := xdrEncode(w, f.Desc, v.FieldByName(f.Name)); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		w.u32(uint32(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := xdrEncode(w, d.Elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case KindArray:
+		for i := 0; i < d.Len; i++ {
+			if err := xdrEncode(w, d.Elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: xdr cannot encode %v", d.Kind)
+	}
+	return nil
+}
+
+// Decode implements Codec.
+func (XDR) Decode(d *Desc, data []byte, to Arch) (any, error) {
+	r := newReader(data, BigEndian)
+	out, err := newValueFor(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := xdrDecode(r, d, out); err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+func xdrDecode(r *reader, d *Desc, v reflect.Value) error {
+	switch xdrKind(d.Kind) {
+	case KindInt32:
+		x, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if d.Kind == KindBool {
+			v.SetBool(x != 0)
+		} else {
+			v.SetInt(int64(int32(x)))
+		}
+	case KindUint32:
+		x, err := r.u32()
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(x))
+	case KindInt64:
+		x, err := r.u64()
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(x))
+	case KindUint64:
+		x, err := r.u64()
+		if err != nil {
+			return err
+		}
+		v.SetUint(x)
+	case KindFloat32:
+		f, err := r.f32()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(float64(f))
+	case KindFloat64:
+		f, err := r.f64()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(f)
+	case KindString:
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		b, err := r.raw(int(n))
+		if err != nil {
+			return err
+		}
+		v.SetString(string(b))
+		if err := r.skipPad(4); err != nil {
+			return err
+		}
+	case KindStruct:
+		for _, f := range d.Fields {
+			if err := xdrDecode(r, f.Desc, v.FieldByName(f.Name)); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > r.remaining() {
+			return ErrShortBuffer
+		}
+		sl := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := xdrDecode(r, d.Elem, sl.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(sl)
+	case KindArray:
+		for i := 0; i < d.Len; i++ {
+			if err := xdrDecode(r, d.Elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: xdr cannot decode %v", d.Kind)
+	}
+	return nil
+}
+
+// --- OmniORB-like CDR -------------------------------------------------------
+
+// CDR is an OmniORB/GIOP-like format: a 12-byte GIOP-style header with
+// an endianness flag, natural alignment with padding, and
+// receiver-makes-right conversion.
+type CDR struct{}
+
+// Name implements Codec.
+func (CDR) Name() string { return "OmniORB" }
+
+// giopHeader mimics GIOP: magic, version, flags (endianness), type,
+// length placeholder.
+var giopMagic = []byte{'G', 'I', 'O', 'P', 1, 2, 0, 0}
+
+// Encode implements Codec.
+func (CDR) Encode(d *Desc, v any, from Arch) ([]byte, error) {
+	w := newWriter(from.Order)
+	w.raw(giopMagic)
+	if from.Order == LittleEndian {
+		w.buf[6] = 1 // endianness flag
+	}
+	w.u32(0) // length placeholder (filled below)
+	if err := encodeValue(w, d, reflect.ValueOf(v), true); err != nil {
+		return nil, err
+	}
+	// Patch the body length at offset 8, in sender order.
+	body := uint32(len(w.buf) - 12)
+	lw := newWriter(from.Order)
+	lw.u32(body)
+	copy(w.buf[8:12], lw.bytes())
+	return w.bytes(), nil
+}
+
+// Decode implements Codec.
+func (CDR) Decode(d *Desc, data []byte, to Arch) (any, error) {
+	if len(data) < 12 {
+		return nil, ErrShortBuffer
+	}
+	if string(data[:4]) != "GIOP" {
+		return nil, fmt.Errorf("codec: bad GIOP magic")
+	}
+	order := BigEndian
+	if data[6] == 1 {
+		order = LittleEndian
+	}
+	r := newReader(data, order)
+	if _, err := r.raw(12); err != nil { // header, alignment preserved
+		return nil, err
+	}
+	out, err := newValueFor(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeValue(r, d, out, true); err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+// --- PBIO-like self-describing binary ----------------------------------------
+
+// PBIO is a PBIO-like format: native-representation binary payload
+// preceded by self-describing metadata (field names and kinds), so a
+// receiver can decode without prior agreement; metadata is what buys
+// PBIO its flexibility and what we charge per message.
+type PBIO struct{}
+
+// Name implements Codec.
+func (PBIO) Name() string { return "PBIO" }
+
+// Encode implements Codec.
+func (PBIO) Encode(d *Desc, v any, from Arch) ([]byte, error) {
+	w := newWriter(from.Order)
+	w.u8(from.ID)
+	writeMeta(w, d)
+	if err := encodeValue(w, d, reflect.ValueOf(v), false); err != nil {
+		return nil, err
+	}
+	return w.bytes(), nil
+}
+
+func writeMeta(w *writer, d *Desc) {
+	w.u8(byte(d.Kind))
+	switch d.Kind {
+	case KindStruct:
+		w.u16(uint16(len(d.Fields)))
+		for _, f := range d.Fields {
+			w.u16(uint16(len(f.Name)))
+			w.raw([]byte(f.Name))
+			writeMeta(w, f.Desc)
+		}
+	case KindSlice:
+		writeMeta(w, d.Elem)
+	case KindArray:
+		w.u32(uint32(d.Len))
+		writeMeta(w, d.Elem)
+	}
+}
+
+// Decode implements Codec.
+func (PBIO) Decode(d *Desc, data []byte, to Arch) (any, error) {
+	if len(data) < 1 {
+		return nil, ErrShortBuffer
+	}
+	sender, ok := ArchByID(data[0])
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown sender architecture %d", data[0])
+	}
+	r := newReader(data[1:], sender.Order)
+	if err := checkMeta(r, d); err != nil {
+		return nil, err
+	}
+	out, err := newValueFor(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeValue(r, d, out, false); err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+// checkMeta parses and validates the self-description against the
+// expected description (the real PBIO reconciles differing formats;
+// validation is the cost we model).
+func checkMeta(r *reader, d *Desc) error {
+	k, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if Kind(k) != d.Kind {
+		return fmt.Errorf("codec: pbio metadata kind %v, want %v", Kind(k), d.Kind)
+	}
+	switch d.Kind {
+	case KindStruct:
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if int(n) != len(d.Fields) {
+			return fmt.Errorf("codec: pbio field count %d, want %d", n, len(d.Fields))
+		}
+		for _, f := range d.Fields {
+			ln, err := r.u16()
+			if err != nil {
+				return err
+			}
+			name, err := r.raw(int(ln))
+			if err != nil {
+				return err
+			}
+			if string(name) != f.Name {
+				return fmt.Errorf("codec: pbio field %q, want %q", name, f.Name)
+			}
+			if err := checkMeta(r, f.Desc); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		return checkMeta(r, d.Elem)
+	case KindArray:
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) != d.Len {
+			return fmt.Errorf("codec: pbio array len %d, want %d", n, d.Len)
+		}
+		return checkMeta(r, d.Elem)
+	}
+	return nil
+}
+
+// --- XML ----------------------------------------------------------------------
+
+// XML is a plain-text format: every scalar is formatted and parsed as
+// text, the price the paper's XML column pays on every exchange.
+type XML struct{}
+
+// Name implements Codec.
+func (XML) Name() string { return "XML" }
+
+// Encode implements Codec.
+func (XML) Encode(d *Desc, v any, from Arch) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\"?>")
+	if err := xmlEncode(&b, "payload", d, reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func xmlUnescape(s string) string {
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&amp;", "&")
+	return r.Replace(s)
+}
+
+func xmlEncode(b *strings.Builder, tag string, d *Desc, v reflect.Value) error {
+	fmt.Fprintf(b, "<%s>", tag)
+	switch d.Kind {
+	case KindBool:
+		fmt.Fprintf(b, "%t", v.Bool())
+	case KindInt8, KindInt16, KindInt32, KindInt64:
+		fmt.Fprintf(b, "%d", v.Int())
+	case KindUint8, KindUint16, KindUint32, KindUint64:
+		fmt.Fprintf(b, "%d", v.Uint())
+	case KindFloat32:
+		fmt.Fprintf(b, "%g", v.Float())
+	case KindFloat64:
+		fmt.Fprintf(b, "%.17g", v.Float())
+	case KindString:
+		b.WriteString(xmlEscape(v.String()))
+	case KindStruct:
+		for _, f := range d.Fields {
+			if err := xmlEncode(b, f.Name, f.Desc, v.FieldByName(f.Name)); err != nil {
+				return err
+			}
+		}
+	case KindSlice, KindArray:
+		n := v.Len()
+		if d.Kind == KindSlice {
+			fmt.Fprintf(b, "<len>%d</len>", n)
+		}
+		for i := 0; i < n; i++ {
+			if err := xmlEncode(b, "item", d.Elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: xml cannot encode %v", d.Kind)
+	}
+	fmt.Fprintf(b, "</%s>", tag)
+	return nil
+}
+
+// Decode implements Codec.
+func (XML) Decode(d *Desc, data []byte, to Arch) (any, error) {
+	s := string(data)
+	if i := strings.Index(s, "?>"); i >= 0 {
+		s = s[i+2:]
+	}
+	p := &xmlParser{s: s}
+	out, err := newValueFor(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.decode("payload", d, out); err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+// xmlParser is a minimal recursive-descent parser for the emitter's
+// output (a strict subset of XML).
+type xmlParser struct {
+	s   string
+	pos int
+}
+
+func (p *xmlParser) expect(tok string) error {
+	if !strings.HasPrefix(p.s[p.pos:], tok) {
+		end := p.pos + 20
+		if end > len(p.s) {
+			end = len(p.s)
+		}
+		return fmt.Errorf("codec: xml expected %q at %q", tok, p.s[p.pos:end])
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+// text reads until the next '<'.
+func (p *xmlParser) text() string {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] != '<' {
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+func (p *xmlParser) decode(tag string, d *Desc, v reflect.Value) error {
+	if err := p.expect("<" + tag + ">"); err != nil {
+		return err
+	}
+	switch d.Kind {
+	case KindBool:
+		t := p.text()
+		v.SetBool(t == "true")
+	case KindInt8, KindInt16, KindInt32, KindInt64:
+		n, err := strconv.ParseInt(p.text(), 10, 64)
+		if err != nil {
+			return fmt.Errorf("codec: xml int: %w", err)
+		}
+		v.SetInt(n)
+	case KindUint8, KindUint16, KindUint32, KindUint64:
+		n, err := strconv.ParseUint(p.text(), 10, 64)
+		if err != nil {
+			return fmt.Errorf("codec: xml uint: %w", err)
+		}
+		v.SetUint(n)
+	case KindFloat32, KindFloat64:
+		f, err := strconv.ParseFloat(p.text(), 64)
+		if err != nil {
+			return fmt.Errorf("codec: xml float: %w", err)
+		}
+		v.SetFloat(f)
+	case KindString:
+		v.SetString(xmlUnescape(p.text()))
+	case KindStruct:
+		for _, f := range d.Fields {
+			if err := p.decode(f.Name, f.Desc, v.FieldByName(f.Name)); err != nil {
+				return err
+			}
+		}
+	case KindSlice:
+		if err := p.expect("<len>"); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(p.text())
+		if err != nil {
+			return fmt.Errorf("codec: xml slice len: %w", err)
+		}
+		if err := p.expect("</len>"); err != nil {
+			return err
+		}
+		if n < 0 || n > len(p.s) {
+			return fmt.Errorf("codec: xml slice len %d out of bounds", n)
+		}
+		sl := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			if err := p.decode("item", d.Elem, sl.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(sl)
+	case KindArray:
+		for i := 0; i < d.Len; i++ {
+			if err := p.decode("item", d.Elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("codec: xml cannot decode %v", d.Kind)
+	}
+	return p.expect("</" + tag + ">")
+}

@@ -1,0 +1,98 @@
+// Message-type registry (gras_msgtype_declare / gras_msgtype_by_name).
+// Type descriptions and wire formats live in the codec subpackage; the
+// main package aliases the common types for convenience.
+
+package gras
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gras/codec"
+)
+
+// Re-exported codec types: architecture descriptors and type
+// descriptions are part of the public GRAS surface.
+type (
+	// Arch describes a CPU architecture's data representation.
+	Arch = codec.Arch
+	// Desc describes an exchangeable type.
+	Desc = codec.Desc
+)
+
+// Architecture descriptors of the paper's Pastry experiment.
+var (
+	ArchX86     = codec.ArchX86
+	ArchSparc   = codec.ArchSparc
+	ArchPowerPC = codec.ArchPowerPC
+)
+
+// Describe derives the wire description of a Go value's type.
+func Describe(v any) (*Desc, error) { return codec.Describe(v) }
+
+// ArchByName resolves an architecture by name ("" defaults to x86).
+func ArchByName(name string) (Arch, bool) { return codec.ArchByName(name) }
+
+// MessageType is a registered message: a name plus the description of
+// its payload (gras_msgtype_declare).
+type MessageType struct {
+	Name string
+	Desc *Desc
+}
+
+// Registry holds the message types known to a GRAS application. A
+// single process-wide registry mirrors the C library's global msgtype
+// table; Worlds and real nodes share it. It is safe for concurrent use
+// (real-world mode involves multiple OS processes/goroutines).
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]*MessageType
+}
+
+// NewRegistry returns an empty message-type registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[string]*MessageType)}
+}
+
+// Declare registers a message type carrying payloads shaped like
+// sample (gras_msgtype_declare). Redeclaring with the same payload
+// type is idempotent; with a different type it errors.
+func (r *Registry) Declare(name string, sample any) (*MessageType, error) {
+	d, err := codec.Describe(sample)
+	if err != nil {
+		return nil, fmt.Errorf("gras: declaring %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.types[name]; ok {
+		if old.Desc.GoType() != d.GoType() {
+			return nil, fmt.Errorf("gras: message %q already declared with type %s",
+				name, old.Desc.GoType())
+		}
+		return old, nil
+	}
+	mt := &MessageType{Name: name, Desc: d}
+	r.types[name] = mt
+	return mt, nil
+}
+
+// Lookup returns a declared message type (gras_msgtype_by_name).
+func (r *Registry) Lookup(name string) (*MessageType, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	mt, ok := r.types[name]
+	return mt, ok
+}
+
+// Names returns the declared message names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.types))
+	for n := range r.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

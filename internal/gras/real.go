@@ -1,0 +1,297 @@
+// Real-world transport: the same Node interface over TCP sockets. A
+// GRAS application function can be handed a RealNode instead of a
+// simulation node and runs unchanged against real networks — the
+// paper's "resulting application is production, not prototype".
+
+package gras
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// realEndpoint is the real-world side of a Socket.
+type realEndpoint struct {
+	conn net.Conn
+	node *RealNode
+}
+
+// RealNode is a GRAS agent communicating over real TCP.
+type RealNode struct {
+	name  string
+	arch  Arch
+	reg   *Registry
+	start time.Time
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     []net.Conn
+	inbox     chan *realMsg
+	closed    bool
+
+	cbs map[string]Callback
+	// pending holds received-but-unmatched messages (wrong type for
+	// the current Recv filter).
+	pending []*realMsg
+}
+
+type realMsg struct {
+	frame []byte
+	conn  net.Conn
+}
+
+// NewRealNode creates a real-world agent. The arch parameter tags
+// outgoing messages; pass ArchX86 (or the actual host architecture) —
+// conversion on receipt follows the same NDR rules as in simulation.
+func NewRealNode(name string, arch Arch, reg *Registry) *RealNode {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &RealNode{
+		name:  name,
+		arch:  arch,
+		reg:   reg,
+		start: time.Now(),
+		inbox: make(chan *realMsg, 128),
+		cbs:   make(map[string]Callback),
+	}
+}
+
+// Name implements Node.
+func (n *RealNode) Name() string { return n.name }
+
+// Arch implements Node.
+func (n *RealNode) Arch() Arch { return n.arch }
+
+// Registry implements Node.
+func (n *RealNode) Registry() *Registry { return n.reg }
+
+// Clock implements Node: seconds since the node started.
+func (n *RealNode) Clock() float64 { return time.Since(n.start).Seconds() }
+
+// Sleep implements Node.
+func (n *RealNode) Sleep(d float64) error {
+	time.Sleep(time.Duration(d * float64(time.Second)))
+	return nil
+}
+
+// Close shuts the node down, closing every socket.
+func (n *RealNode) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, l := range n.listeners {
+		l.Close()
+	}
+	for _, c := range n.conns {
+		c.Close()
+	}
+}
+
+// Listen implements Node: opens a TCP server socket on 127.0.0.1:port
+// (port 0 picks a free port; see Addr).
+func (n *RealNode) Listen(port int) error {
+	l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	n.listeners = append(n.listeners, l)
+	n.mu.Unlock()
+	go n.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the listen address of the i-th Listen call (for tests
+// using port 0).
+func (n *RealNode) Addr(i int) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if i < 0 || i >= len(n.listeners) {
+		return ""
+	}
+	return n.listeners[i].Addr().String()
+}
+
+func (n *RealNode) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns = append(n.conns, conn)
+		n.mu.Unlock()
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop turns a TCP stream into framed messages.
+func (n *RealNode) readLoop(conn net.Conn) {
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size > 64<<20 {
+			return // refuse absurd frames
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		select {
+		case n.inbox <- &realMsg{frame: frame, conn: conn}:
+		default:
+			// Inbox overflow: drop (TCP-level backpressure would be
+			// better but this keeps the node responsive).
+		}
+	}
+}
+
+// Client implements Node: dials host:port.
+func (n *RealNode) Client(host string, port int) (*Socket, error) {
+	addr := fmt.Sprintf("%s:%d", host, port)
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrRefused, addr, err)
+	}
+	n.mu.Lock()
+	n.conns = append(n.conns, conn)
+	n.mu.Unlock()
+	go n.readLoop(conn) // replies may arrive on the same connection
+	return &Socket{Peer: addr, real: &realEndpoint{conn: conn, node: n}}, nil
+}
+
+// ClientAddr dials a full address ("127.0.0.1:53420"), convenient with
+// ephemeral ports.
+func (n *RealNode) ClientAddr(addr string) (*Socket, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrRefused, addr, err)
+	}
+	n.mu.Lock()
+	n.conns = append(n.conns, conn)
+	n.mu.Unlock()
+	go n.readLoop(conn)
+	return &Socket{Peer: addr, real: &realEndpoint{conn: conn, node: n}}, nil
+}
+
+// Send implements Node: frames the message onto the TCP stream.
+func (n *RealNode) Send(s *Socket, msgType string, payload any) error {
+	if s == nil || s.real == nil {
+		return fmt.Errorf("gras: Send on a non-real socket")
+	}
+	frame, err := encodeFrame(n.reg, msgType, payload, n.arch)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := s.real.conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = s.real.conn.Write(frame)
+	return err
+}
+
+// Recv implements Node.
+func (n *RealNode) Recv(msgType string, timeout float64) (*Msg, error) {
+	m, err := n.recvRaw(msgType, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.finish(m)
+}
+
+func (n *RealNode) recvRaw(msgType string, timeout float64) (*realMsg, error) {
+	// Check messages parked by earlier Recv calls with other filters.
+	for i, m := range n.pending {
+		if msgType == "" || frameType(m.frame) == msgType {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(time.Duration(timeout * float64(time.Second)))
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		select {
+		case m := <-n.inbox:
+			if msgType == "" || frameType(m.frame) == msgType {
+				return m, nil
+			}
+			n.pending = append(n.pending, m)
+		case <-deadline:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+func (n *RealNode) finish(m *realMsg) (*Msg, error) {
+	msgType, payload, err := decodeFrame(n.reg, m.frame, n.arch)
+	if err != nil {
+		return nil, err
+	}
+	from := ""
+	if m.conn != nil {
+		from = m.conn.RemoteAddr().String()
+	}
+	return &Msg{
+		Type:    msgType,
+		Payload: payload,
+		From:    from,
+		Reply:   &Socket{Peer: from, real: &realEndpoint{conn: m.conn, node: n}},
+	}, nil
+}
+
+// RegisterCB implements Node.
+func (n *RealNode) RegisterCB(msgType string, cb Callback) {
+	n.cbs[msgType] = cb
+}
+
+// Handle implements Node.
+func (n *RealNode) Handle(timeout float64) error {
+	m, err := n.recvRaw("", timeout)
+	if err != nil {
+		return err
+	}
+	msg, err := n.finish(m)
+	if err != nil {
+		return err
+	}
+	cb := n.cbs[msg.Type]
+	if cb == nil {
+		return fmt.Errorf("gras: no callback for message %q", msg.Type)
+	}
+	return cb(n, msg)
+}
+
+// Bench implements Node: for a real node the code just runs; the
+// measurement is returned so applications can log it.
+func (n *RealNode) Bench(fn func()) (float64, error) {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds(), nil
+}

@@ -1,0 +1,536 @@
+// Package maxmin implements the weighted, bounded Max-Min fairness
+// solver at the heart of SURF ("allocate as much capacity to all tasks
+// in a way that maximizes the minimum capacity allocation over all
+// tasks" — SimGrid, HPDC'06).
+//
+// The model is a linear system: variables (one per simulated activity:
+// a TCP flow, a computation, ...) consume capacity on constraints (one
+// per resource: a network link, a CPU). A variable x with weight w that
+// crosses constraint c contributes w·x to c's load, and c's load must
+// not exceed its capacity. Variables may additionally carry an upper
+// bound (e.g. the TCP window bound gamma/2RTT).
+//
+// Solve computes the max-min fair allocation by progressive filling:
+// grow all variables' shares together until either a variable hits its
+// bound (it is then frozen) or a constraint saturates (all its variables
+// are then frozen), remove frozen usage, and repeat on the remainder.
+package maxmin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Variable is one activity receiving an allocation. Create variables
+// with System.NewVariable and attach them to constraints with Expand.
+type Variable struct {
+	id     int
+	weight float64 // sharing weight (a.k.a. priority); 0 disables the variable
+	bound  float64 // upper bound on Value; <= 0 means unbounded
+	value  float64 // the solution, valid after Solve
+
+	cnsts []*elem
+
+	// User cookie: the surf action owning this variable.
+	Data any
+
+	sys   *System
+	fixed bool
+}
+
+// elem ties a variable to a constraint with a consumption multiplier.
+type elem struct {
+	v      *Variable
+	c      *Constraint
+	factor float64 // capacity consumed per unit of variable value
+}
+
+// Constraint is one capacity-limited resource.
+type Constraint struct {
+	id       int
+	capacity float64
+	elems    []*elem
+
+	// shared reports whether concurrent variables share the capacity
+	// (true, the normal case: links, CPUs) or each may use the full
+	// capacity independently (false: SimGrid "fatpipe" links, modelling
+	// e.g. the Internet backbone in some platform files).
+	shared bool
+
+	// User cookie: the surf resource owning this constraint.
+	Data any
+
+	sys    *System
+	remCap float64 // scratch for Solve
+	usage  float64 // post-solve total load
+}
+
+// System holds variables and constraints and solves the allocation.
+// The zero value is not usable; call NewSystem.
+type System struct {
+	vars    []*Variable
+	cnsts   []*Constraint
+	nextVID int
+	nextCID int
+	dirty   bool
+}
+
+// NewSystem returns an empty linear MaxMin system.
+func NewSystem() *System { return &System{} }
+
+// NewConstraint adds a resource with the given capacity.
+// Capacity must be non-negative; a zero-capacity constraint forces all
+// its variables to zero.
+func (s *System) NewConstraint(capacity float64) *Constraint {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c := &Constraint{id: s.nextCID, capacity: capacity, shared: true, sys: s}
+	s.nextCID++
+	s.cnsts = append(s.cnsts, c)
+	s.dirty = true
+	return c
+}
+
+// NewVariable adds an activity with the given sharing weight and upper
+// bound (bound <= 0 means unbounded). Weight 0 makes the variable
+// inactive: it receives value 0 and consumes nothing (used for
+// suspended activities).
+func (s *System) NewVariable(weight, bound float64) *Variable {
+	v := &Variable{id: s.nextVID, weight: weight, bound: bound, sys: s}
+	s.nextVID++
+	s.vars = append(s.vars, v)
+	s.dirty = true
+	return v
+}
+
+// Expand records that v consumes factor×value capacity on c. Expanding
+// the same pair twice accumulates the factors (a route crossing the same
+// link twice consumes twice the bandwidth on it).
+func (s *System) Expand(c *Constraint, v *Variable, factor float64) {
+	if factor <= 0 {
+		return
+	}
+	for _, e := range v.cnsts {
+		if e.c == c {
+			e.factor += factor
+			s.dirty = true
+			return
+		}
+	}
+	e := &elem{v: v, c: c, factor: factor}
+	v.cnsts = append(v.cnsts, e)
+	c.elems = append(c.elems, e)
+	s.dirty = true
+}
+
+// RemoveVariable detaches v from all its constraints and drops it from
+// the system. v must not be used afterwards.
+func (s *System) RemoveVariable(v *Variable) {
+	for _, e := range v.cnsts {
+		c := e.c
+		for i, ce := range c.elems {
+			if ce == e {
+				c.elems = append(c.elems[:i], c.elems[i+1:]...)
+				break
+			}
+		}
+	}
+	v.cnsts = nil
+	for i, sv := range s.vars {
+		if sv == v {
+			s.vars = append(s.vars[:i], s.vars[i+1:]...)
+			break
+		}
+	}
+	v.sys = nil
+	s.dirty = true
+}
+
+// RemoveConstraint drops c (and detaches it from all variables).
+func (s *System) RemoveConstraint(c *Constraint) {
+	for _, e := range c.elems {
+		v := e.v
+		for i, ve := range v.cnsts {
+			if ve == e {
+				v.cnsts = append(v.cnsts[:i], v.cnsts[i+1:]...)
+				break
+			}
+		}
+	}
+	c.elems = nil
+	for i, sc := range s.cnsts {
+		if sc == c {
+			s.cnsts = append(s.cnsts[:i], s.cnsts[i+1:]...)
+			break
+		}
+	}
+	c.sys = nil
+	s.dirty = true
+}
+
+// SetCapacity updates a resource capacity (trace events, failures).
+func (s *System) SetCapacity(c *Constraint, capacity float64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if c.capacity != capacity {
+		c.capacity = capacity
+		s.dirty = true
+	}
+}
+
+// SetWeight updates a variable's sharing weight (0 suspends it).
+func (s *System) SetWeight(v *Variable, weight float64) {
+	if v.weight != weight {
+		v.weight = weight
+		s.dirty = true
+	}
+}
+
+// SetBound updates a variable's upper bound (<= 0 removes the bound).
+func (s *System) SetBound(v *Variable, bound float64) {
+	if v.bound != bound {
+		v.bound = bound
+		s.dirty = true
+	}
+}
+
+// SetShared toggles capacity sharing on a constraint. Non-shared
+// ("fatpipe") constraints only enforce the per-variable cap
+// value×factor ≤ capacity instead of the sum.
+func (s *System) SetShared(c *Constraint, shared bool) {
+	if c.shared != shared {
+		c.shared = shared
+		s.dirty = true
+	}
+}
+
+// Value returns the variable's allocation from the last Solve.
+func (v *Variable) Value() float64 { return v.value }
+
+// Weight returns the variable's sharing weight.
+func (v *Variable) Weight() float64 { return v.weight }
+
+// Bound returns the variable's upper bound (<= 0 if unbounded).
+func (v *Variable) Bound() float64 { return v.bound }
+
+// Constraints returns the constraints the variable crosses.
+func (v *Variable) Constraints() []*Constraint {
+	out := make([]*Constraint, len(v.cnsts))
+	for i, e := range v.cnsts {
+		out[i] = e.c
+	}
+	return out
+}
+
+// Capacity returns the constraint's configured capacity.
+func (c *Constraint) Capacity() float64 { return c.capacity }
+
+// Usage returns the total load on the constraint after the last Solve.
+func (c *Constraint) Usage() float64 { return c.usage }
+
+// Shared reports whether the constraint's capacity is shared.
+func (c *Constraint) Shared() bool { return c.shared }
+
+// Variables returns the variables crossing this constraint.
+func (c *Constraint) Variables() []*Variable {
+	out := make([]*Variable, len(c.elems))
+	for i, e := range c.elems {
+		out[i] = e.v
+	}
+	return out
+}
+
+// Dirty reports whether the system changed since the last Solve.
+func (s *System) Dirty() bool { return s.dirty }
+
+// Epsilon below which capacities/weights are treated as zero.
+const eps = 1e-12
+
+// Solve computes the max-min fair allocation by progressive filling and
+// stores the result in each variable (read it with Value).
+//
+// The algorithm maintains a "share" ratio r grown uniformly for all
+// active variables (a variable's tentative value is r×weight). At each
+// step it finds the smallest event among (a) a constraint saturating and
+// (b) a variable reaching its bound, freezes the corresponding
+// variables, subtracts their consumption, and iterates. Complexity is
+// O((V+E)·min(V,C)) which is ample for simulation workloads where the
+// system is re-solved only when the action set changes.
+func (s *System) Solve() {
+	// Reset scratch state.
+	active := 0
+	for _, v := range s.vars {
+		v.fixed = false
+		v.value = 0
+		if v.weight <= eps || len(v.cnsts) == 0 {
+			v.fixed = true // inactive or unconstrained-with-no-resource
+			continue
+		}
+		active++
+	}
+	for _, c := range s.cnsts {
+		c.remCap = c.capacity
+		c.usage = 0
+	}
+	// A variable on any zero-capacity constraint gets 0 immediately.
+	for _, v := range s.vars {
+		if v.fixed {
+			continue
+		}
+		for _, e := range v.cnsts {
+			if e.c.capacity <= eps && e.c.shared {
+				v.fixed = true
+				active--
+				break
+			}
+			if !e.c.shared && e.c.capacity <= eps {
+				v.fixed = true
+				active--
+				break
+			}
+		}
+	}
+
+	for active > 0 {
+		// weightedLoad[c] = sum over active vars on c of weight*factor.
+		loads := make(map[*Constraint]float64, len(s.cnsts))
+		for _, v := range s.vars {
+			if v.fixed {
+				continue
+			}
+			for _, e := range v.cnsts {
+				loads[e.c] += v.weight * e.factor
+			}
+		}
+
+		// Candidate growth limit from constraints: r such that
+		// r * weightedLoad == remCap (shared) or per-variable for fatpipes.
+		minR := math.Inf(1)
+		for c, wl := range loads {
+			if wl <= eps {
+				continue
+			}
+			var r float64
+			if c.shared {
+				r = c.remCap / wl
+			} else {
+				// Fatpipe: each variable independently limited by
+				// capacity/(weight*factor); handled below per variable.
+				continue
+			}
+			if r < minR {
+				minR = r
+			}
+		}
+		// Candidate growth limit from variable bounds and fatpipes.
+		for _, v := range s.vars {
+			if v.fixed {
+				continue
+			}
+			if v.bound > 0 {
+				if r := v.bound / v.weight; r < minR {
+					minR = r
+				}
+			}
+			for _, e := range v.cnsts {
+				if !e.c.shared && e.factor > eps {
+					if r := e.c.remCap / (v.weight * e.factor); r < minR {
+						minR = r
+					}
+				}
+			}
+		}
+		if math.IsInf(minR, 1) {
+			// No limiting factor: variables are unconstrained. This
+			// only happens when every active variable sits on fatpipe
+			// constraints with infinite capacity; clamp to bound-less
+			// infinity is meaningless, so freeze at +Inf guarded by eps.
+			for _, v := range s.vars {
+				if !v.fixed {
+					v.value = math.Inf(1)
+					v.fixed = true
+					active--
+				}
+			}
+			break
+		}
+		if minR < 0 {
+			minR = 0
+		}
+
+		// Freeze everything that saturates at r = minR.
+		frozen := 0
+		for _, v := range s.vars {
+			if v.fixed {
+				continue
+			}
+			val := minR * v.weight
+			atBound := v.bound > 0 && val >= v.bound-1e-9*math.Max(1, v.bound)
+			atCnst := false
+			for _, e := range v.cnsts {
+				if e.c.shared {
+					wl := loads[e.c]
+					if wl > eps && math.Abs(e.c.remCap/wl-minR) <= 1e-9*math.Max(1, minR) {
+						atCnst = true
+						break
+					}
+				} else if e.factor > eps {
+					if math.Abs(e.c.remCap/(v.weight*e.factor)-minR) <= 1e-9*math.Max(1, minR) {
+						atCnst = true
+						break
+					}
+				}
+			}
+			if atBound || atCnst {
+				if atBound && (v.bound < val || !atCnst) {
+					val = v.bound
+				}
+				v.value = val
+				v.fixed = true
+				frozen++
+				active--
+				// Subtract consumption from remaining capacities.
+				for _, e := range v.cnsts {
+					if e.c.shared {
+						e.c.remCap -= val * e.factor
+						if e.c.remCap < 0 {
+							e.c.remCap = 0
+						}
+					}
+				}
+			}
+		}
+		if frozen == 0 {
+			// Numerical stall: freeze the variable with the smallest
+			// tentative value to guarantee progress.
+			var worst *Variable
+			for _, v := range s.vars {
+				if !v.fixed && (worst == nil || v.weight < worst.weight) {
+					worst = v
+				}
+			}
+			if worst == nil {
+				break
+			}
+			worst.value = minR * worst.weight
+			worst.fixed = true
+			active--
+			for _, e := range worst.cnsts {
+				if e.c.shared {
+					e.c.remCap -= worst.value * e.factor
+					if e.c.remCap < 0 {
+						e.c.remCap = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Record usage.
+	for _, c := range s.cnsts {
+		u := 0.0
+		for _, e := range c.elems {
+			u += e.v.value * e.factor
+		}
+		c.usage = u
+	}
+	s.dirty = false
+}
+
+// Validate checks the current solution for feasibility and max-min
+// optimality within tolerance tol and returns a list of violations
+// (empty when the solution is sound). It is used by tests and available
+// to callers as a debugging aid.
+func (s *System) Validate(tol float64) []string {
+	var problems []string
+	for _, c := range s.cnsts {
+		if !c.shared {
+			for _, e := range c.elems {
+				if e.v.value*e.factor > c.capacity+tol {
+					problems = append(problems,
+						fmt.Sprintf("fatpipe constraint %d: var %d uses %g > cap %g",
+							c.id, e.v.id, e.v.value*e.factor, c.capacity))
+				}
+			}
+			continue
+		}
+		u := 0.0
+		for _, e := range c.elems {
+			u += e.v.value * e.factor
+		}
+		if u > c.capacity+tol {
+			problems = append(problems,
+				fmt.Sprintf("constraint %d overloaded: usage %g > cap %g", c.id, u, c.capacity))
+		}
+	}
+	// Max-min optimality: every active variable must be saturated —
+	// either at its bound or on at least one tight constraint.
+	for _, v := range s.vars {
+		if v.weight <= eps || len(v.cnsts) == 0 {
+			continue
+		}
+		if v.bound > 0 && v.value >= v.bound-tol {
+			continue
+		}
+		sat := false
+		for _, e := range v.cnsts {
+			c := e.c
+			if !c.shared {
+				if e.v.value*e.factor >= c.capacity-tol {
+					sat = true
+					break
+				}
+				continue
+			}
+			u := 0.0
+			for _, ce := range c.elems {
+				u += ce.v.value * ce.factor
+			}
+			if u >= c.capacity-tol {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			problems = append(problems,
+				fmt.Sprintf("variable %d not saturated: value %g, bound %g", v.id, v.value, v.bound))
+		}
+	}
+	return problems
+}
+
+// String renders the system state for debugging.
+func (s *System) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "maxmin system: %d vars, %d constraints\n", len(s.vars), len(s.cnsts))
+	cs := make([]*Constraint, len(s.cnsts))
+	copy(cs, s.cnsts)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].id < cs[j].id })
+	for _, c := range cs {
+		fmt.Fprintf(&b, "  C%d cap=%g usage=%g shared=%v vars=[", c.id, c.capacity, c.usage, c.shared)
+		for i, e := range c.elems {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "V%d×%g", e.v.id, e.factor)
+		}
+		b.WriteString("]\n")
+	}
+	vs := make([]*Variable, len(s.vars))
+	copy(vs, s.vars)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  V%d w=%g bound=%g value=%g\n", v.id, v.weight, v.bound, v.value)
+	}
+	return b.String()
+}
+
+// NVariables returns the number of variables in the system.
+func (s *System) NVariables() int { return len(s.vars) }
+
+// NConstraints returns the number of constraints in the system.
+func (s *System) NConstraints() int { return len(s.cnsts) }

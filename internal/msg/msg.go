@@ -1,0 +1,494 @@
+// Package msg implements the paper's MSG interface: a convenient,
+// standard abstraction for prototyping distributed algorithms.
+//
+// Applications consist of processes running on simulated hosts.
+// Processes can be created, suspended, resumed and terminated
+// dynamically, and synchronize by exchanging tasks. A task carries a
+// communication payload (bytes, simulated on the network) and an
+// execution payload (flops, simulated on the host CPU), plus an
+// arbitrary Data pointer — all processes share one address space, so
+// passing Go values through tasks is free, like the paper's "convenient
+// communication via global data structure".
+//
+// Tasks move between processes through channels attached to hosts
+// (Put(task, host, channel) / Get(channel)), mirroring the MSG_task_put
+// / MSG_task_get API of the paper's client/server example.
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+// Errors returned by MSG operations.
+var (
+	// ErrTimeout reports that a Get or Put timed out.
+	ErrTimeout = errors.New("msg: operation timed out")
+	// ErrHostFailed reports that the local or remote host failed.
+	ErrHostFailed = surf.ErrHostFailed
+	// ErrLinkFailed reports a network failure during a transfer.
+	ErrLinkFailed = surf.ErrLinkFailed
+	// ErrKilled reports the peer process was killed mid-rendezvous.
+	ErrKilled = core.ErrKilled
+)
+
+// Task is the unit of work and of communication: it carries an
+// execution payload (Flops) and a communication payload (Bytes).
+type Task struct {
+	Name  string
+	Flops float64 // execution payload ("30.0 MFlop" in the paper)
+	Bytes float64 // communication payload ("3.2 MB" in the paper)
+	Data  any     // free cross-process payload (shared address space)
+
+	source *platform.Host // filled in by Put
+	sender *Process
+}
+
+// NewTask builds a task. Negative payloads are clamped to zero.
+func NewTask(name string, flops, bytes float64) *Task {
+	if flops < 0 {
+		flops = 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return &Task{Name: name, Flops: flops, Bytes: bytes}
+}
+
+// Source returns the host the task was sent from (nil before Put).
+func (t *Task) Source() *platform.Host { return t.source }
+
+// Sender returns the process that sent the task (nil before Put).
+func (t *Task) Sender() *Process { return t.sender }
+
+// Process is a simulated application process bound to a host.
+type Process struct {
+	cp   *core.Process
+	env  *Environment
+	host *platform.Host
+	exec *surf.Action // in-flight execution, for suspend propagation
+}
+
+// Environment owns a simulated platform and the processes running on
+// it: it is the MSG world (MSG_global_init + MSG_main).
+type Environment struct {
+	eng   *core.Engine
+	model *surf.Model
+	pf    *platform.Platform
+
+	mailboxes map[mailboxKey]*mailbox
+	byHost    map[string]map[*Process]bool
+
+	// Gantt, when non-nil, records per-process compute/comm intervals.
+	Gantt *gantt.Recorder
+
+	// KillOnHostFailure controls whether processes on a failing host
+	// are killed (the paper's volatile-hosts behaviour). Default true.
+	KillOnHostFailure bool
+}
+
+type mailboxKey struct {
+	host    string
+	channel int
+}
+
+// pendingSend is a sender blocked in Put (or an in-flight transfer).
+type pendingSend struct {
+	task     *Task
+	src      *Process
+	sender   *core.Process
+	action   *surf.Action
+	delivery *pendingRecv
+}
+
+// pendingRecv is a receiver blocked in Get.
+type pendingRecv struct {
+	receiver *core.Process
+	task     *Task // filled in at completion
+	matched  *pendingSend
+}
+
+type mailbox struct {
+	sendQ []*pendingSend
+	recvQ []*pendingRecv
+}
+
+// NewEnvironment builds an MSG world on a platform with the given
+// network model configuration (surf.DefaultConfig for the paper's
+// calibration).
+func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
+	eng := core.New()
+	env := &Environment{
+		eng:               eng,
+		model:             surf.New(eng, pf, cfg),
+		pf:                pf,
+		mailboxes:         make(map[mailboxKey]*mailbox),
+		byHost:            make(map[string]map[*Process]bool),
+		KillOnHostFailure: true,
+	}
+	env.model.OnHostStateChange = func(h *platform.Host, up bool) {
+		if up || !env.KillOnHostFailure {
+			return
+		}
+		for p := range env.byHost[h.Name] {
+			p.cp.Kill()
+		}
+	}
+	return env
+}
+
+// Engine exposes the underlying kernel (for tests and advanced use).
+func (env *Environment) Engine() *core.Engine { return env.eng }
+
+// Model exposes the underlying resource model.
+func (env *Environment) Model() *surf.Model { return env.model }
+
+// Platform returns the simulated platform.
+func (env *Environment) Platform() *platform.Platform { return env.pf }
+
+// Now returns the current simulated time in seconds (MSG_get_clock).
+func (env *Environment) Now() float64 { return env.eng.Now() }
+
+// HostByName returns a platform host (MSG_get_host_by_name), or nil.
+func (env *Environment) HostByName(name string) *platform.Host {
+	return env.pf.Host(name)
+}
+
+// NewProcess creates a process on a host. fn runs in simulation
+// context; returning an error records it as the process's termination
+// cause. Processes created before Run start at time 0.
+func (env *Environment) NewProcess(name, hostName string, fn func(*Process) error) (*Process, error) {
+	h := env.pf.Host(hostName)
+	if h == nil {
+		return nil, fmt.Errorf("msg: unknown host %q", hostName)
+	}
+	p := &Process{env: env, host: h}
+	p.cp = env.eng.Spawn(name, h, func(cp *core.Process) {
+		if err := fn(p); err != nil {
+			// Recorded for OnExit inspection; the kernel treats a
+			// returning process as terminated either way.
+			_ = err
+		}
+	})
+	if env.byHost[h.Name] == nil {
+		env.byHost[h.Name] = make(map[*Process]bool)
+	}
+	env.byHost[h.Name][p] = true
+	p.cp.OnExit(func(error) {
+		delete(env.byHost[p.host.Name], p)
+		env.ganttEnd(p)
+	})
+	return p, nil
+}
+
+// Run executes the simulation until every non-daemon process finished.
+// A deadlock (blocked processes that can never progress) is returned as
+// *core.DeadlockError.
+func (env *Environment) Run() error { return env.eng.Run() }
+
+// --- Process API --------------------------------------------------------
+
+// Env returns the environment the process belongs to.
+func (p *Process) Env() *Environment { return p.env }
+
+// Host returns the host the process runs on.
+func (p *Process) Host() *platform.Host { return p.host }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.cp.Name() }
+
+// PID returns the process identifier.
+func (p *Process) PID() int { return p.cp.PID() }
+
+// Core returns the underlying kernel process.
+func (p *Process) Core() *core.Process { return p.cp }
+
+// Now returns the current simulated time.
+func (p *Process) Now() float64 { return p.env.eng.Now() }
+
+// Sleep suspends execution for d simulated seconds (MSG_process_sleep).
+func (p *Process) Sleep(d float64) error { return p.cp.Sleep(d) }
+
+// Daemonize marks the process as a daemon (infinite-loop servers).
+func (p *Process) Daemonize() { p.cp.Daemonize() }
+
+// Kill terminates the target process (MSG_process_kill).
+func (p *Process) Kill() { p.cp.Kill() }
+
+// Suspend pauses the target process and freezes its in-flight
+// execution (MSG_process_suspend).
+func (p *Process) Suspend() {
+	if p.exec != nil {
+		p.exec.Suspend()
+	}
+	p.cp.Suspend()
+}
+
+// Resume unpauses the process (MSG_process_resume).
+func (p *Process) Resume() {
+	if p.exec != nil {
+		p.exec.Resume()
+	}
+	p.cp.Resume()
+}
+
+// Spawn creates a new process from within the simulation
+// (MSG_process_create), starting at the current simulated time.
+func (p *Process) Spawn(name, hostName string, fn func(*Process) error) (*Process, error) {
+	return p.env.NewProcess(name, hostName, fn)
+}
+
+// Migrate moves the process to another host (MSG_process_migrate):
+// subsequent Execute and Get calls use the new host's CPU and network
+// location. Only the process itself may migrate (call it between
+// activities; an in-flight action stays on the old host).
+func (p *Process) Migrate(hostName string) error {
+	h := p.env.pf.Host(hostName)
+	if h == nil {
+		return fmt.Errorf("msg: unknown host %q", hostName)
+	}
+	if h == p.host {
+		return nil
+	}
+	old := p.host
+	delete(p.env.byHost[old.Name], p)
+	p.host = h
+	p.cp.SetHost(h)
+	if p.env.byHost[h.Name] == nil {
+		p.env.byHost[h.Name] = make(map[*Process]bool)
+	}
+	p.env.byHost[h.Name][p] = true
+	return nil
+}
+
+// Execute runs the task's execution payload on the local host
+// (MSG_task_execute): Flops of work through the CPU's MaxMin share.
+func (p *Process) Execute(task *Task) error {
+	return p.ExecuteWithPriority(task, 1)
+}
+
+// ExecuteWithPriority is Execute with a MaxMin sharing weight.
+func (p *Process) ExecuteWithPriority(task *Task, priority float64) error {
+	a, err := p.env.model.Execute(p.host.Name, task.Flops, priority)
+	if err != nil {
+		return err
+	}
+	p.exec = a
+	p.ganttBegin(gantt.Compute, task.Name)
+	err = a.Wait(p.cp)
+	p.ganttEndNow()
+	p.exec = nil
+	return err
+}
+
+// Put sends a task to (destination host, channel) and blocks until the
+// transfer completes (MSG_task_put). The transfer starts when a
+// receiver is ready (rendezvous) and its duration is governed by the
+// network model across the route between the two hosts.
+func (p *Process) Put(task *Task, destHost string, channel int) error {
+	return p.put(task, destHost, channel, 0)
+}
+
+// PutWithTimeout is Put aborting with ErrTimeout after timeout seconds
+// (<= 0 means no timeout).
+func (p *Process) PutWithTimeout(task *Task, destHost string, channel int, timeout float64) error {
+	return p.put(task, destHost, channel, timeout)
+}
+
+func (p *Process) put(task *Task, destHost string, channel int, timeout float64) error {
+	dst := p.env.pf.Host(destHost)
+	if dst == nil {
+		return fmt.Errorf("msg: unknown destination host %q", destHost)
+	}
+	if task == nil {
+		return errors.New("msg: nil task")
+	}
+	task.source = p.host
+	task.sender = p
+
+	key := mailboxKey{host: destHost, channel: channel}
+	mb := p.env.mailbox(key)
+	ps := &pendingSend{task: task, src: p, sender: p.cp}
+
+	var timer *core.Timer
+	if timeout > 0 {
+		timer = p.env.eng.After(timeout, func() {
+			p.env.timeoutSend(key, ps)
+		})
+	}
+
+	if len(mb.recvQ) > 0 {
+		pr := mb.recvQ[0]
+		mb.recvQ = mb.recvQ[1:]
+		if err := p.env.startTransfer(key, ps, pr); err != nil {
+			if timer != nil {
+				timer.Cancel()
+			}
+			return err
+		}
+	} else {
+		mb.sendQ = append(mb.sendQ, ps)
+	}
+
+	p.ganttBegin(gantt.Comm, task.Name)
+	err := p.cp.Block()
+	p.ganttEndNow()
+	if timer != nil {
+		timer.Cancel()
+	}
+	return err
+}
+
+// Get receives the next task from the given channel of the local host,
+// blocking until one arrives (MSG_task_get).
+func (p *Process) Get(channel int) (*Task, error) {
+	return p.get(channel, 0)
+}
+
+// GetWithTimeout is Get aborting with ErrTimeout after timeout seconds
+// (<= 0 means no timeout).
+func (p *Process) GetWithTimeout(channel int, timeout float64) (*Task, error) {
+	return p.get(channel, timeout)
+}
+
+func (p *Process) get(channel int, timeout float64) (*Task, error) {
+	key := mailboxKey{host: p.host.Name, channel: channel}
+	mb := p.env.mailbox(key)
+	pr := &pendingRecv{receiver: p.cp}
+
+	var timer *core.Timer
+	if timeout > 0 {
+		timer = p.env.eng.After(timeout, func() {
+			p.env.timeoutRecv(key, pr)
+		})
+	}
+
+	if len(mb.sendQ) > 0 {
+		ps := mb.sendQ[0]
+		mb.sendQ = mb.sendQ[1:]
+		if err := p.env.startTransfer(key, ps, pr); err != nil {
+			if timer != nil {
+				timer.Cancel()
+			}
+			return nil, err
+		}
+	} else {
+		mb.recvQ = append(mb.recvQ, pr)
+	}
+
+	p.ganttBegin(gantt.Wait, "recv")
+	err := p.cp.Block()
+	p.ganttEndNow()
+	if timer != nil {
+		timer.Cancel()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pr.task, nil
+}
+
+// --- Environment internals ----------------------------------------------
+
+func (env *Environment) mailbox(key mailboxKey) *mailbox {
+	mb := env.mailboxes[key]
+	if mb == nil {
+		mb = &mailbox{}
+		env.mailboxes[key] = mb
+	}
+	return mb
+}
+
+// startTransfer matches a sender and a receiver and launches the
+// network action; both sides are woken at completion.
+func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendingRecv) error {
+	a, err := env.model.Communicate(ps.src.host.Name, key.host, ps.task.Bytes)
+	if err != nil {
+		// Malformed route: deliver the error to both sides. The caller
+		// (whichever of the two is currently running) also gets it as a
+		// return value; the Wake targeting it is a no-op.
+		env.eng.Wake(ps.sender, err)
+		env.eng.Wake(pr.receiver, err)
+		return err
+	}
+	ps.action = a
+	ps.delivery = pr
+	pr.matched = ps
+	deliver := func(cerr error) {
+		if cerr == nil {
+			pr.task = ps.task
+		}
+		env.eng.Wake(ps.sender, cerr)
+		env.eng.Wake(pr.receiver, cerr)
+	}
+	if a.Done() {
+		// Already finished (e.g. the route's link is down): defer the
+		// delivery one kernel turn so both sides have blocked.
+		cerr := a.Err()
+		env.eng.After(0, func() { deliver(cerr) })
+	} else {
+		a.SetOnComplete(deliver)
+	}
+	return nil
+}
+
+// timeoutSend aborts a pending or in-flight Put.
+func (env *Environment) timeoutSend(key mailboxKey, ps *pendingSend) {
+	if ps.action != nil {
+		if !ps.action.Done() {
+			ps.action.Cancel() // wakes both sides with ErrCanceled
+		}
+		return
+	}
+	mb := env.mailbox(key)
+	for i, q := range mb.sendQ {
+		if q == ps {
+			mb.sendQ = append(mb.sendQ[:i], mb.sendQ[i+1:]...)
+			env.eng.Wake(ps.sender, ErrTimeout)
+			return
+		}
+	}
+}
+
+// timeoutRecv aborts a pending or in-flight Get.
+func (env *Environment) timeoutRecv(key mailboxKey, pr *pendingRecv) {
+	if pr.matched != nil {
+		if pr.matched.action != nil && !pr.matched.action.Done() {
+			pr.matched.action.Cancel()
+		}
+		return
+	}
+	mb := env.mailbox(key)
+	for i, q := range mb.recvQ {
+		if q == pr {
+			mb.recvQ = append(mb.recvQ[:i], mb.recvQ[i+1:]...)
+			env.eng.Wake(pr.receiver, ErrTimeout)
+			return
+		}
+	}
+}
+
+// --- Gantt plumbing -------------------------------------------------------
+
+func (p *Process) ganttBegin(kind gantt.Kind, label string) {
+	if p.env.Gantt != nil {
+		p.env.Gantt.Begin(p.Name(), kind, label, p.env.eng.Now())
+	}
+}
+
+func (p *Process) ganttEndNow() {
+	if p.env.Gantt != nil {
+		p.env.Gantt.End(p.Name(), p.env.eng.Now())
+	}
+}
+
+func (env *Environment) ganttEnd(p *Process) {
+	if env.Gantt != nil {
+		env.Gantt.End(p.Name(), env.eng.Now())
+	}
+}

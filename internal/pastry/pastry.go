@@ -1,0 +1,233 @@
+// Package pastry implements the paper's GRAS evaluation: the average
+// time to exchange one Pastry message between PowerPC, Sparc and x86
+// hosts, on a LAN and on a WAN (California–France), for GRAS and the
+// four comparator middlewares (MPICH, OmniORB, PBIO, XML-based).
+//
+// A message exchange costs sender-side encoding, the wire transfer of
+// the encoded bytes (latency + size/bandwidth on the experiment's
+// network), and receiver-side decoding (including byte-order conversion
+// where the wire format demands it). Encode/decode costs are measured
+// by really running the codecs; the n/a cells of the paper (middleware
+// not available for an architecture pair) are reproduced by the
+// documented availability rules below.
+package pastry
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gras/codec"
+)
+
+// Message is a Pastry JOIN-like message: a routing-table snapshot plus
+// leaf set, the kind of state transfer Pastry performs when a node
+// joins the overlay.
+type Message struct {
+	MsgID    uint64
+	Kind     int32
+	Key      [4]uint32 // 128-bit Pastry key
+	Src      string
+	Dst      string
+	HopsSeen int32
+	Rows     []RoutingRow
+	Leaves   []LeafEntry
+	Load     float64
+}
+
+// RoutingRow is one row of the Pastry routing table.
+type RoutingRow struct {
+	Level   int32
+	Entries []RouteEntry
+}
+
+// RouteEntry points to one overlay node.
+type RouteEntry struct {
+	NodeID [4]uint32
+	Addr   string
+	RTT    float32
+	Alive  bool
+}
+
+// LeafEntry is one member of the leaf set.
+type LeafEntry struct {
+	NodeID [4]uint32
+	Addr   string
+}
+
+// Sample builds the reference message: a 32-row × 16-column routing
+// table plus a 32-node leaf set (tens of kB in the GRAS wire format, so
+// WAN exchanges are bandwidth-dominated like the paper's).
+func Sample() Message {
+	m := Message{
+		MsgID:    0x0123456789ABCDEF,
+		Kind:     2, // JOIN
+		Key:      [4]uint32{0xDEADBEEF, 0x01020304, 0xA5A5A5A5, 0x42},
+		Src:      "node-036a.ucsd.example.edu:4017",
+		Dst:      "node-117f.ens-lyon.example.fr:4017",
+		HopsSeen: 3,
+		Load:     0.375,
+	}
+	for row := 0; row < 32; row++ {
+		r := RoutingRow{Level: int32(row)}
+		for col := 0; col < 16; col++ {
+			r.Entries = append(r.Entries, RouteEntry{
+				NodeID: [4]uint32{uint32(row), uint32(col), uint32(row * col), 7},
+				Addr: fmt.Sprintf("node-%02x%02x.site-%d.example.org:%d",
+					row, col, col%4, 4000+col),
+				RTT:   float32(row*col) * 0.0001,
+				Alive: (row+col)%7 != 0,
+			})
+		}
+		m.Rows = append(m.Rows, r)
+	}
+	for i := 0; i < 32; i++ {
+		m.Leaves = append(m.Leaves, LeafEntry{
+			NodeID: [4]uint32{uint32(i), uint32(i * 3), 9, uint32(i * i)},
+			Addr:   fmt.Sprintf("leaf-%02d.example.org:%d", i, 4100+i),
+		})
+	}
+	return m
+}
+
+// Net describes the experiment's network.
+type Net struct {
+	Name      string
+	Bandwidth float64 // bytes/s
+	Latency   float64 // seconds one-way
+}
+
+// The two networks of the paper's tables.
+var (
+	// LAN: 100 Mbit/s switched Ethernet, 0.1 ms.
+	LAN = Net{Name: "LAN", Bandwidth: 1.25e7, Latency: 0.0001}
+	// WAN: California–France path of the mid-2000s: ~1 Mbit/s usable
+	// end-to-end, 80 ms one-way.
+	WAN = Net{Name: "WAN", Bandwidth: 1.25e5, Latency: 0.080}
+)
+
+// Cell is one table entry: a (codec, sender arch, receiver arch) cell.
+type Cell struct {
+	Codec     string
+	From, To  codec.Arch
+	Supported bool
+	Encode    time.Duration // measured CPU time per message
+	Decode    time.Duration
+	WireBytes int
+}
+
+// ExchangeTime returns the modelled time to exchange one message over a
+// network: encode + transfer + decode.
+func (c Cell) ExchangeTime(n Net) float64 {
+	if !c.Supported {
+		return 0
+	}
+	return c.Encode.Seconds() + n.Latency +
+		float64(c.WireBytes)/n.Bandwidth + c.Decode.Seconds()
+}
+
+// Supported reproduces the paper's n/a cells:
+//   - MPICH requires a homogeneous MPI installation: cross-endianness
+//     pairs are unsupported (the mid-2000s MPICH had no heterogeneous
+//     data conversion in common deployments);
+//   - PBIO had no PowerPC port.
+func supported(codecName string, from, to codec.Arch) bool {
+	switch codecName {
+	case "MPICH":
+		return from.Order == to.Order
+	case "PBIO":
+		return from.Name != "ppc" && to.Name != "ppc"
+	default:
+		return true
+	}
+}
+
+// Measure runs every codec over every architecture pair, timing `iters`
+// encode and decode operations of the sample message.
+func Measure(iters int) ([]Cell, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	msg := Sample()
+	desc, err := codec.Describe(msg)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, cdc := range codec.All() {
+		for _, from := range codec.Archs {
+			for _, to := range codec.Archs {
+				cell := Cell{Codec: cdc.Name(), From: from, To: to}
+				if !supported(cdc.Name(), from, to) {
+					cells = append(cells, cell)
+					continue
+				}
+				cell.Supported = true
+
+				frame, err := cdc.Encode(desc, msg, from)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s->%s: %w", cdc.Name(), from.Name, to.Name, err)
+				}
+				cell.WireBytes = len(frame)
+
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, err := cdc.Encode(desc, msg, from); err != nil {
+						return nil, err
+					}
+				}
+				cell.Encode = time.Since(t0) / time.Duration(iters)
+
+				t0 = time.Now()
+				for i := 0; i < iters; i++ {
+					if _, err := cdc.Decode(desc, frame, to); err != nil {
+						return nil, fmt.Errorf("%s %s->%s decode: %w", cdc.Name(), from.Name, to.Name, err)
+					}
+				}
+				cell.Decode = time.Since(t0) / time.Duration(iters)
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Table prints the paper-shaped table: one block per (receiver, sender)
+// pair with one exchange time per middleware.
+func Table(w io.Writer, cells []Cell, n Net) {
+	fmt.Fprintf(w, "Average time to exchange one Pastry message on a %s (in seconds)\n", n.Name)
+	fmt.Fprintf(w, "%-6s %-6s", "to\\from", "")
+	names := []string{"GRAS", "MPICH", "OmniORB", "PBIO", "XML"}
+	for _, c := range names {
+		fmt.Fprintf(w, " %10s", c)
+	}
+	fmt.Fprintln(w)
+	for _, to := range codec.Archs {
+		for _, from := range codec.Archs {
+			fmt.Fprintf(w, "%-6s %-6s", to.Name, from.Name)
+			for _, name := range names {
+				cell, ok := find(cells, name, from, to)
+				if !ok || !cell.Supported {
+					fmt.Fprintf(w, " %10s", "n/a")
+					continue
+				}
+				fmt.Fprintf(w, " %9.4gs", cell.ExchangeTime(n))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func find(cells []Cell, codecName string, from, to codec.Arch) (Cell, bool) {
+	for _, c := range cells {
+		if c.Codec == codecName && c.From.ID == from.ID && c.To.ID == to.ID {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Find exposes cell lookup for tests and benchmarks.
+func Find(cells []Cell, codecName string, from, to codec.Arch) (Cell, bool) {
+	return find(cells, codecName, from, to)
+}

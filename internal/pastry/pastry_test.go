@@ -1,0 +1,154 @@
+package pastry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gras/codec"
+)
+
+func TestSampleIsDescribable(t *testing.T) {
+	d, err := codec.Describe(Sample())
+	if err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	if d.Kind != codec.KindStruct {
+		t.Errorf("kind = %v", d.Kind)
+	}
+}
+
+func TestSampleSizeInRange(t *testing.T) {
+	msg := Sample()
+	d, _ := codec.Describe(msg)
+	frame, err := (codec.NDR{}).Encode(d, msg, codec.ArchX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The message is calibrated to tens of kB so WAN times are
+	// bandwidth-dominated like the paper's.
+	if len(frame) < 10_000 || len(frame) > 200_000 {
+		t.Errorf("NDR frame = %d bytes, want 10k..200k", len(frame))
+	}
+}
+
+func TestMeasureProducesAllCells(t *testing.T) {
+	cells, err := Measure(2)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	// 5 codecs × 3 archs × 3 archs.
+	if len(cells) != 45 {
+		t.Fatalf("got %d cells, want 45", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Supported {
+			continue
+		}
+		if c.Encode <= 0 || c.Decode <= 0 {
+			t.Errorf("%s %s->%s: non-positive timings", c.Codec, c.From.Name, c.To.Name)
+		}
+		if c.WireBytes <= 0 {
+			t.Errorf("%s %s->%s: no wire bytes", c.Codec, c.From.Name, c.To.Name)
+		}
+	}
+}
+
+func TestAvailabilityRules(t *testing.T) {
+	cells, err := Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MPICH n/a across endianness.
+	if c, _ := Find(cells, "MPICH", codec.ArchX86, codec.ArchSparc); c.Supported {
+		t.Error("MPICH x86->sparc should be n/a")
+	}
+	if c, _ := Find(cells, "MPICH", codec.ArchSparc, codec.ArchPowerPC); !c.Supported {
+		t.Error("MPICH sparc->ppc (same endianness) should work")
+	}
+	// PBIO n/a on ppc.
+	if c, _ := Find(cells, "PBIO", codec.ArchPowerPC, codec.ArchX86); c.Supported {
+		t.Error("PBIO from ppc should be n/a")
+	}
+	if c, _ := Find(cells, "PBIO", codec.ArchX86, codec.ArchSparc); !c.Supported {
+		t.Error("PBIO x86->sparc should work")
+	}
+	// GRAS works everywhere.
+	for _, from := range codec.Archs {
+		for _, to := range codec.Archs {
+			if c, _ := Find(cells, "GRAS", from, to); !c.Supported {
+				t.Errorf("GRAS %s->%s should work", from.Name, to.Name)
+			}
+		}
+	}
+}
+
+func TestPaperShape(t *testing.T) {
+	cells, err := Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape 1: XML is the slowest exchange on every supported pair.
+	for _, from := range codec.Archs {
+		for _, to := range codec.Archs {
+			xml, _ := Find(cells, "XML", from, to)
+			gras, _ := Find(cells, "GRAS", from, to)
+			if xml.ExchangeTime(LAN) <= gras.ExchangeTime(LAN) {
+				t.Errorf("%s->%s: XML (%g) not slower than GRAS (%g) on LAN",
+					from.Name, to.Name, xml.ExchangeTime(LAN), gras.ExchangeTime(LAN))
+			}
+		}
+	}
+	// Shape 2: XML's wire size is several times GRAS's.
+	xml, _ := Find(cells, "XML", codec.ArchX86, codec.ArchX86)
+	gras, _ := Find(cells, "GRAS", codec.ArchX86, codec.ArchX86)
+	if xml.WireBytes < 2*gras.WireBytes {
+		t.Errorf("XML %d B vs GRAS %d B: expected ≥2x inflation",
+			xml.WireBytes, gras.WireBytes)
+	}
+	// Shape 3: WAN exchanges are dominated by the network, so every
+	// supported cell takes at least the WAN latency.
+	for _, c := range cells {
+		if c.Supported && c.ExchangeTime(WAN) < WAN.Latency {
+			t.Errorf("%s %s->%s: WAN time below latency", c.Codec, c.From.Name, c.To.Name)
+		}
+	}
+	// Shape 4: PBIO costs more wire bytes than GRAS (self-description).
+	pbio, _ := Find(cells, "PBIO", codec.ArchX86, codec.ArchX86)
+	if pbio.WireBytes <= gras.WireBytes {
+		t.Errorf("PBIO %d B not above GRAS %d B", pbio.WireBytes, gras.WireBytes)
+	}
+}
+
+func TestExchangeTimeComposition(t *testing.T) {
+	c := Cell{Supported: true, Encode: 1e6, Decode: 2e6, WireBytes: 1250}
+	n := Net{Bandwidth: 1.25e6, Latency: 0.08}
+	got := c.ExchangeTime(n)
+	want := 0.001 + 0.002 + 0.08 + 0.001
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("ExchangeTime = %g, want %g", got, want)
+	}
+	unsup := Cell{}
+	if unsup.ExchangeTime(n) != 0 {
+		t.Error("unsupported cell has nonzero time")
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	cells, err := Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Table(&buf, cells, LAN)
+	out := buf.String()
+	for _, want := range []string{"LAN", "GRAS", "MPICH", "OmniORB", "PBIO", "XML", "n/a", "x86", "sparc", "ppc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+9 { // title + header + 9 pairs
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,206 @@
+// Convenience topology builders, the programmatic equivalents of the
+// <cluster> and friends tags of SimGrid platform files. They cover the
+// paper's target-application platforms: commodity clusters, networks of
+// workstations behind a shared backbone, and multi-site grids.
+
+package platform
+
+import (
+	"fmt"
+)
+
+// ClusterConfig describes a homogeneous commodity cluster: n hosts
+// hanging off one switch through identical links.
+type ClusterConfig struct {
+	Prefix    string  // host name prefix ("node" -> node0, node1, ...)
+	Hosts     int     // number of hosts
+	Power     float64 // flop/s per host
+	Bandwidth float64 // bytes/s per host uplink
+	Latency   float64 // seconds per hop
+	// Backbone, when positive, inserts a shared backbone link of that
+	// bandwidth between the uplinks and the switch, so intra-cluster
+	// traffic contends (SimGrid's cluster backbone, "bb_bw").
+	Backbone float64
+	// BackboneLatency is the backbone's latency (default 0).
+	BackboneLatency float64
+	Properties      map[string]string // copied onto every host
+}
+
+// BuildCluster adds a cluster to the platform and returns the host
+// names. The switch router is named Prefix+"-switch".
+func (p *Platform) BuildCluster(cfg ClusterConfig) ([]string, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("platform: cluster %q needs hosts", cfg.Prefix)
+	}
+	if cfg.Power <= 0 || cfg.Bandwidth <= 0 || cfg.Latency < 0 {
+		return nil, fmt.Errorf("platform: cluster %q has invalid characteristics", cfg.Prefix)
+	}
+	sw := cfg.Prefix + "-switch"
+	if err := p.AddRouter(sw); err != nil {
+		return nil, err
+	}
+	attach := sw
+	if cfg.Backbone > 0 {
+		// hosts -- inner switch -- backbone link -- outer switch
+		inner := cfg.Prefix + "-leaf"
+		if err := p.AddRouter(inner); err != nil {
+			return nil, err
+		}
+		bb := &Link{
+			Name:      cfg.Prefix + "-backbone",
+			Bandwidth: cfg.Backbone,
+			Latency:   cfg.BackboneLatency,
+		}
+		if err := p.Connect(inner, sw, bb); err != nil {
+			return nil, err
+		}
+		attach = inner
+	}
+	names := make([]string, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("%s%d", cfg.Prefix, i)
+		names[i] = name
+		h := &Host{Name: name, Power: cfg.Power}
+		if cfg.Properties != nil {
+			h.Properties = make(map[string]string, len(cfg.Properties))
+			for k, v := range cfg.Properties {
+				h.Properties[k] = v
+			}
+		}
+		if err := p.AddHost(h); err != nil {
+			return nil, err
+		}
+		l := &Link{
+			Name:      fmt.Sprintf("%s%d-up", cfg.Prefix, i),
+			Bandwidth: cfg.Bandwidth,
+			Latency:   cfg.Latency,
+		}
+		if err := p.Connect(name, attach, l); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// NewCluster builds a standalone cluster platform with routes computed.
+func NewCluster(cfg ClusterConfig) (*Platform, []string, error) {
+	p := New()
+	names, err := p.BuildCluster(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		return nil, nil, err
+	}
+	return p, names, nil
+}
+
+// DumbbellConfig describes the classic two-sided bottleneck topology:
+// left hosts and right hosts joined by one shared middle link.
+type DumbbellConfig struct {
+	LeftHosts, RightHosts int
+	Power                 float64
+	EdgeBandwidth         float64
+	EdgeLatency           float64
+	BottleneckBandwidth   float64
+	BottleneckLatency     float64
+}
+
+// NewDumbbell builds a dumbbell platform, returning (left, right) host
+// names. Useful for congestion experiments: every left-to-right flow
+// shares the bottleneck.
+func NewDumbbell(cfg DumbbellConfig) (*Platform, []string, []string, error) {
+	if cfg.LeftHosts <= 0 || cfg.RightHosts <= 0 {
+		return nil, nil, nil, fmt.Errorf("platform: dumbbell needs hosts on both sides")
+	}
+	p := New()
+	if err := p.AddRouter("dumbbell-left"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := p.AddRouter("dumbbell-right"); err != nil {
+		return nil, nil, nil, err
+	}
+	mid := &Link{
+		Name:      "bottleneck",
+		Bandwidth: cfg.BottleneckBandwidth,
+		Latency:   cfg.BottleneckLatency,
+	}
+	if err := p.Connect("dumbbell-left", "dumbbell-right", mid); err != nil {
+		return nil, nil, nil, err
+	}
+	side := func(prefix, router string, n int) ([]string, error) {
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			names[i] = name
+			if err := p.AddHost(&Host{Name: name, Power: cfg.Power}); err != nil {
+				return nil, err
+			}
+			l := &Link{
+				Name:      name + "-edge",
+				Bandwidth: cfg.EdgeBandwidth,
+				Latency:   cfg.EdgeLatency,
+			}
+			if err := p.Connect(name, router, l); err != nil {
+				return nil, err
+			}
+		}
+		return names, nil
+	}
+	left, err := side("left", "dumbbell-left", cfg.LeftHosts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	right, err := side("right", "dumbbell-right", cfg.RightHosts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		return nil, nil, nil, err
+	}
+	return p, left, right, nil
+}
+
+// MultiSiteConfig joins several clusters through a wide-area backbone —
+// the paper's "scientific simulation running on a multi-site high-end
+// grid platform".
+type MultiSiteConfig struct {
+	Sites        []ClusterConfig
+	WANBandwidth float64
+	WANLatency   float64
+}
+
+// NewMultiSite builds the grid platform: each site's switch connects to
+// a central WAN router through a fatpipe WAN link (over-provisioned
+// backbone; site uplinks are the contention points). Returns per-site
+// host names.
+func NewMultiSite(cfg MultiSiteConfig) (*Platform, [][]string, error) {
+	if len(cfg.Sites) < 2 {
+		return nil, nil, fmt.Errorf("platform: a grid needs at least 2 sites")
+	}
+	p := New()
+	if err := p.AddRouter("wan"); err != nil {
+		return nil, nil, err
+	}
+	var all [][]string
+	for i, site := range cfg.Sites {
+		names, err := p.BuildCluster(site)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, names)
+		wl := &Link{
+			Name:      fmt.Sprintf("wan-%d", i),
+			Bandwidth: cfg.WANBandwidth,
+			Latency:   cfg.WANLatency,
+			Policy:    Fatpipe,
+		}
+		if err := p.Connect(site.Prefix+"-switch", "wan", wl); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		return nil, nil, err
+	}
+	return p, all, nil
+}

@@ -1,0 +1,179 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBuildClusterBasic(t *testing.T) {
+	p, names, err := NewCluster(ClusterConfig{
+		Prefix: "node", Hosts: 8, Power: 1e9,
+		Bandwidth: 1.25e8, Latency: 5e-5,
+		Properties: map[string]string{"arch": "x86"},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if len(names) != 8 || names[0] != "node0" || names[7] != "node7" {
+		t.Errorf("names = %v", names)
+	}
+	if err := p.Validate(true); err != nil {
+		t.Errorf("cluster not fully routable: %v", err)
+	}
+	r, err := p.Route("node0", "node7")
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(r.Links) != 2 {
+		t.Errorf("intra-cluster route has %d links, want 2 (up + down)", len(r.Links))
+	}
+	if p.Host("node3").Property("arch") != "x86" {
+		t.Error("properties not copied")
+	}
+	// Property maps must be independent copies.
+	p.Host("node3").Properties["arch"] = "sparc"
+	if p.Host("node4").Property("arch") != "x86" {
+		t.Error("property map shared between hosts")
+	}
+}
+
+func TestBuildClusterBackbone(t *testing.T) {
+	p, _, err := NewCluster(ClusterConfig{
+		Prefix: "bb", Hosts: 4, Power: 1e9,
+		Bandwidth: 1.25e8, Latency: 5e-5,
+		Backbone: 1.25e7, BackboneLatency: 1e-4,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// Hosts attach to the leaf router; reaching the cluster switch
+	// crosses the backbone. But intra-cluster routes stay on the leaf.
+	r, err := p.Route("bb0", "bb1")
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(r.Links) != 2 {
+		t.Errorf("intra-cluster route = %d links, want 2", len(r.Links))
+	}
+	if p.Link("bb-backbone") == nil {
+		t.Error("backbone link missing")
+	}
+}
+
+func TestBuildClusterValidation(t *testing.T) {
+	p := New()
+	if _, err := p.BuildCluster(ClusterConfig{Prefix: "x", Hosts: 0, Power: 1, Bandwidth: 1}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := p.BuildCluster(ClusterConfig{Prefix: "x", Hosts: 2, Power: 0, Bandwidth: 1}); err == nil {
+		t.Error("zero power accepted")
+	}
+	// Duplicate prefix collides on the switch name.
+	if _, err := p.BuildCluster(ClusterConfig{Prefix: "c", Hosts: 2, Power: 1, Bandwidth: 1}); err != nil {
+		t.Fatalf("first cluster: %v", err)
+	}
+	if _, err := p.BuildCluster(ClusterConfig{Prefix: "c", Hosts: 2, Power: 1, Bandwidth: 1}); err == nil {
+		t.Error("duplicate prefix accepted")
+	}
+}
+
+func TestNewDumbbell(t *testing.T) {
+	p, left, right, err := NewDumbbell(DumbbellConfig{
+		LeftHosts: 3, RightHosts: 2, Power: 1e9,
+		EdgeBandwidth: 1.25e8, EdgeLatency: 1e-5,
+		BottleneckBandwidth: 1.25e6, BottleneckLatency: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("NewDumbbell: %v", err)
+	}
+	if len(left) != 3 || len(right) != 2 {
+		t.Fatalf("sides = %d/%d", len(left), len(right))
+	}
+	r, err := p.Route(left[0], right[0])
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(r.Links) != 3 {
+		t.Errorf("cross route = %d links, want 3 (edge+bottleneck+edge)", len(r.Links))
+	}
+	if r.Bottleneck() != 1.25e6 {
+		t.Errorf("bottleneck = %g", r.Bottleneck())
+	}
+	// Same-side route must not cross the bottleneck.
+	rl, _ := p.Route(left[0], left[1])
+	for _, l := range rl.Links {
+		if l.Name == "bottleneck" {
+			t.Error("same-side route crosses the bottleneck")
+		}
+	}
+	if _, _, _, err := NewDumbbell(DumbbellConfig{LeftHosts: 0, RightHosts: 1}); err == nil {
+		t.Error("empty side accepted")
+	}
+}
+
+func TestNewMultiSite(t *testing.T) {
+	site := func(prefix string, n int) ClusterConfig {
+		return ClusterConfig{
+			Prefix: prefix, Hosts: n, Power: 1e9,
+			Bandwidth: 1.25e8, Latency: 5e-5,
+		}
+	}
+	p, hosts, err := NewMultiSite(MultiSiteConfig{
+		Sites:        []ClusterConfig{site("ucsd", 4), site("lyon", 3), site("nancy", 2)},
+		WANBandwidth: 1.25e6,
+		WANLatency:   0.04,
+	})
+	if err != nil {
+		t.Fatalf("NewMultiSite: %v", err)
+	}
+	if len(hosts) != 3 || len(hosts[0]) != 4 || len(hosts[2]) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	// Cross-site route crosses two WAN links (site A -> wan -> site B).
+	r, err := p.Route("ucsd0", "lyon2")
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	wanHops := 0
+	for _, l := range r.Links {
+		if l.Policy == Fatpipe {
+			wanHops++
+		}
+	}
+	if wanHops != 2 {
+		t.Errorf("cross-site route crosses %d WAN links, want 2 (%v)", wanHops, names(r.Links))
+	}
+	// Intra-site stays local.
+	r2, _ := p.Route("nancy0", "nancy1")
+	for _, l := range r2.Links {
+		if l.Policy == Fatpipe {
+			t.Error("intra-site route crosses the WAN")
+		}
+	}
+	if _, _, err := NewMultiSite(MultiSiteConfig{Sites: []ClusterConfig{site("solo", 2)}}); err == nil {
+		t.Error("single-site grid accepted")
+	}
+}
+
+func TestMultiSiteSimulatesEndToEnd(t *testing.T) {
+	// Smoke: the grid platform works under the fluid model via routes.
+	p, hosts, err := NewMultiSite(MultiSiteConfig{
+		Sites: []ClusterConfig{
+			{Prefix: "a", Hosts: 2, Power: 1e9, Bandwidth: 1.25e8, Latency: 5e-5},
+			{Prefix: "b", Hosts: 2, Power: 1e9, Bandwidth: 1.25e8, Latency: 5e-5},
+		},
+		WANBandwidth: 1.25e6,
+		WANLatency:   0.04,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Route(hosts[0][0], hosts[1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency() < 0.08 {
+		t.Errorf("cross-site latency %g, want >= 0.08 (two WAN hops)", r.Latency())
+	}
+	_ = fmt.Sprintf("%v", r)
+}

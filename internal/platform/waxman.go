@@ -1,0 +1,186 @@
+// BRITE-like random topology generation using the Waxman model, which is
+// what BRITE's router-level generator implements: nodes are placed
+// uniformly in a square and each pair is connected with probability
+// alpha * exp(-d / (beta * L)) where d is the Euclidean distance and L
+// the maximum possible distance. The paper's validation experiment uses
+// "a random topology generated with BRITE (random bandwidths and
+// latencies)".
+
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WaxmanConfig parameterizes the random topology generator.
+type WaxmanConfig struct {
+	Nodes int // number of routers (each also carries one host)
+
+	Alpha float64 // Waxman alpha (edge density), BRITE default 0.15
+	Beta  float64 // Waxman beta (long-edge likelihood), BRITE default 0.2
+
+	// Random ranges for link characteristics (uniform).
+	MinBandwidth, MaxBandwidth float64 // bytes/s
+	MinLatency, MaxLatency     float64 // seconds
+
+	// HostPower is the compute power given to the host attached to each
+	// router (flop/s).
+	HostPower float64
+
+	Seed int64
+}
+
+// DefaultWaxmanConfig mirrors BRITE's defaults with bandwidths in the
+// 10–100 Mbit/s range and latencies of a metropolitan network.
+func DefaultWaxmanConfig(nodes int, seed int64) WaxmanConfig {
+	return WaxmanConfig{
+		Nodes:        nodes,
+		Alpha:        0.15,
+		Beta:         0.2,
+		MinBandwidth: 1.25e6, // 10 Mbit/s
+		MaxBandwidth: 1.25e7, // 100 Mbit/s
+		MinLatency:   0.0001, // 0.1 ms
+		MaxLatency:   0.01,   // 10 ms
+		HostPower:    1e9,    // 1 Gflop/s
+		Seed:         seed,
+	}
+}
+
+// GenerateWaxman builds a connected random platform: cfg.Nodes routers
+// joined by Waxman-sampled links, one host ("hostN") hanging off each
+// router through a fast LAN link. Routes are precomputed. The same seed
+// always yields the same platform.
+func GenerateWaxman(cfg WaxmanConfig) (*Platform, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("platform: waxman needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Alpha <= 0 || cfg.Beta <= 0 {
+		return nil, fmt.Errorf("platform: waxman alpha/beta must be positive")
+	}
+	if cfg.MinBandwidth <= 0 || cfg.MaxBandwidth < cfg.MinBandwidth {
+		return nil, fmt.Errorf("platform: bad bandwidth range [%g,%g]", cfg.MinBandwidth, cfg.MaxBandwidth)
+	}
+	if cfg.MinLatency < 0 || cfg.MaxLatency < cfg.MinLatency {
+		return nil, fmt.Errorf("platform: bad latency range [%g,%g]", cfg.MinLatency, cfg.MaxLatency)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := New()
+
+	type pt struct{ x, y float64 }
+	pos := make([]pt, cfg.Nodes)
+	for i := range pos {
+		pos[i] = pt{rng.Float64(), rng.Float64()}
+		if err := p.AddRouter(routerName(i)); err != nil {
+			return nil, err
+		}
+	}
+	maxDist := math.Sqrt2 // unit square diagonal
+
+	// Generated links are split-duplex, matching the duplex links NS2
+	// and GTNets build for the same topology.
+	randLink := func(name string) *Link {
+		return &Link{
+			Name:      name,
+			Bandwidth: cfg.MinBandwidth + rng.Float64()*(cfg.MaxBandwidth-cfg.MinBandwidth),
+			Latency:   cfg.MinLatency + rng.Float64()*(cfg.MaxLatency-cfg.MinLatency),
+			Policy:    SplitDuplex,
+		}
+	}
+
+	// Waxman edges.
+	nLinks := 0
+	connected := make([]bool, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			d := math.Hypot(pos[i].x-pos[j].x, pos[i].y-pos[j].y)
+			prob := cfg.Alpha * math.Exp(-d/(cfg.Beta*maxDist))
+			if rng.Float64() < prob {
+				l := randLink(fmt.Sprintf("wax%d_%d", i, j))
+				if err := p.Connect(routerName(i), routerName(j), l); err != nil {
+					return nil, err
+				}
+				connected[i], connected[j] = true, true
+				nLinks++
+			}
+		}
+	}
+	// Guarantee connectivity: chain every node to a random previous one
+	// if the Waxman pass left it isolated, then add a spanning chain
+	// between components via a union-find sweep.
+	uf := newUnionFind(cfg.Nodes)
+	for _, e := range p.edges {
+		uf.union(routerIndex(e.a), routerIndex(e.b))
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if uf.find(i) != uf.find(0) {
+			j := rng.Intn(i)
+			l := randLink(fmt.Sprintf("join%d_%d", j, i))
+			if err := p.Connect(routerName(j), routerName(i), l); err != nil {
+				return nil, err
+			}
+			uf.union(i, j)
+			nLinks++
+		}
+	}
+
+	// One host per router, attached by a fast local link so that the
+	// interesting contention happens on the Waxman core.
+	for i := 0; i < cfg.Nodes; i++ {
+		h := &Host{Name: hostName(i), Power: cfg.HostPower}
+		if err := p.AddHost(h); err != nil {
+			return nil, err
+		}
+		lan := &Link{
+			Name:      fmt.Sprintf("lan%d", i),
+			Bandwidth: cfg.MaxBandwidth * 10,
+			Latency:   cfg.MinLatency / 10,
+			Policy:    SplitDuplex,
+		}
+		if err := p.Connect(hostName(i), routerName(i), lan); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func routerName(i int) string { return fmt.Sprintf("router%d", i) }
+func hostName(i int) string   { return fmt.Sprintf("host%d", i) }
+
+// routerIndex parses the index out of routerN / hostN names; hosts do
+// not appear in the Waxman edge set at union-find time.
+func routerIndex(name string) int {
+	var i int
+	fmt.Sscanf(name, "router%d", &i)
+	return i
+}
+
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,113 @@
+package smpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func matmulWorld(t *testing.T, powers []float64) *World {
+	t.Helper()
+	p := platform.New()
+	p.AddRouter("sw")
+	hosts := make([]string, len(powers))
+	for i, pw := range powers {
+		name := "h" + string(rune('a'+i))
+		hosts[i] = name
+		if err := p.AddHost(&platform.Host{Name: name, Power: pw}); err != nil {
+			t.Fatal(err)
+		}
+		l := &platform.Link{Name: "l" + name, Bandwidth: 1.25e8, Latency: 5e-5}
+		if err := p.Connect(name, "sw", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(p, exact(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMatMulCorrectness(t *testing.T) {
+	w := matmulWorld(t, []float64{1e9, 1e9, 1e9, 1e9})
+	cfg := MatMulConfig{M: 16, N: 16, K: 16}
+	if _, err := RunMatMul(w, cfg, 0.001, true); err != nil {
+		t.Fatalf("RunMatMul: %v", err)
+	}
+}
+
+func TestMatMulRealBenchPath(t *testing.T) {
+	// benchSeconds = 0: the rank-1 update really runs and is measured.
+	w := matmulWorld(t, []float64{1e9, 1e9})
+	cfg := MatMulConfig{M: 8, N: 8, K: 8}
+	makespan, err := RunMatMul(w, cfg, 0, true)
+	if err != nil {
+		t.Fatalf("RunMatMul: %v", err)
+	}
+	if makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	w := matmulWorld(t, []float64{1e9, 1e9, 1e9})
+	// K=16 not divisible by 3 ranks.
+	if _, err := RunMatMul(w, MatMulConfig{M: 8, N: 9, K: 16}, 0.001, false); err == nil {
+		t.Error("non-divisible K accepted")
+	}
+	if err := (MatMulConfig{M: 0, N: 4, K: 4}).Validate(2); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+// The heterogeneity result: the same code on a platform with one slow
+// host takes longer, governed by the slowest strip (the paper's point:
+// "easy simulation of the application on a heterogeneous platform").
+func TestMatMulHeterogeneitySlowsMakespan(t *testing.T) {
+	cfg := MatMulConfig{M: 32, N: 32, K: 32}
+	homo := matmulWorld(t, []float64{1e9, 1e9, 1e9, 1e9})
+	tHomo, err := RunMatMul(homo, cfg, 0.002, false)
+	if err != nil {
+		t.Fatalf("homogeneous: %v", err)
+	}
+	hetero := matmulWorld(t, []float64{1e9, 1e9, 1e9, 2.5e8}) // one 4x slower host
+	tHetero, err := RunMatMul(hetero, cfg, 0.002, false)
+	if err != nil {
+		t.Fatalf("heterogeneous: %v", err)
+	}
+	if tHetero <= tHomo {
+		t.Errorf("heterogeneous (%g) not slower than homogeneous (%g)", tHetero, tHomo)
+	}
+	// The broadcast synchronises every step, so the slow host should
+	// dominate: expect ≥ 2x.
+	if tHetero < 2*tHomo {
+		t.Errorf("slowdown only %gx, want >= 2x", tHetero/tHomo)
+	}
+	// And the slowdown is bounded by the power ratio (4x) plus overhead.
+	if tHetero > 5*tHomo {
+		t.Errorf("slowdown %gx exceeds the 4x power ratio + overhead", tHetero/tHomo)
+	}
+}
+
+func TestMatMulCommMatters(t *testing.T) {
+	// With a preloaded tiny compute cost, makespan is dominated by the
+	// K broadcasts of M doubles.
+	w := matmulWorld(t, []float64{1e9, 1e9})
+	cfg := MatMulConfig{M: 1024, N: 16, K: 16}
+	makespan, err := RunMatMul(w, cfg, 1e-9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 bcasts of 8 kB at 125 MB/s + latency; at least K × latency.
+	if makespan < 16*5e-5 {
+		t.Errorf("makespan %g below the latency floor", makespan)
+	}
+	if math.IsInf(makespan, 0) || math.IsNaN(makespan) {
+		t.Error("bad makespan")
+	}
+}

@@ -1,0 +1,484 @@
+package smpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+func exact() surf.Config { return surf.Config{BandwidthFactor: 1, LatencyFactor: 1} }
+
+// cluster builds n hosts on a shared switch (star of fast links).
+func cluster(t *testing.T, n int, power float64) (*platform.Platform, []string) {
+	t.Helper()
+	p := platform.New()
+	p.AddRouter("switch")
+	hosts := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		hosts[i] = name
+		if err := p.AddHost(&platform.Host{Name: name, Power: power}); err != nil {
+			t.Fatal(err)
+		}
+		l := &platform.Link{Name: "eth" + name, Bandwidth: 1.25e8, Latency: 5e-5}
+		if err := p.Connect(name, "switch", l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.ComputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	return p, hosts
+}
+
+func run(t *testing.T, n int, main func(*Rank) error) *World {
+	t.Helper()
+	pf, hosts := cluster(t, n, 1e9)
+	w, err := New(pf, exact(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(main); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return w
+}
+
+func TestRankAndSize(t *testing.T) {
+	seen := make([]bool, 4)
+	run(t, 4, func(r *Rank) error {
+		if r.Size() != 4 {
+			return fmt.Errorf("size = %d", r.Size())
+		}
+		seen[r.Rank()] = true
+		if r.Host() == nil {
+			return errors.New("nil host")
+		}
+		return nil
+	})
+	for i, s := range seen {
+		if !s {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	run(t, 2, func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.Send(1, 7, "hello", 1e6)
+		}
+		v, src, err := r.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "hello" || src != 0 {
+			return fmt.Errorf("got %v from %d", v, src)
+		}
+		return nil
+	})
+}
+
+func TestRecvAnySource(t *testing.T) {
+	got := map[int]bool{}
+	run(t, 4, func(r *Rank) error {
+		if r.Rank() != 0 {
+			return r.Send(0, 1, r.Rank(), 1e3)
+		}
+		for i := 0; i < 3; i++ {
+			v, src, err := r.Recv(AnySource, 1)
+			if err != nil {
+				return err
+			}
+			if v.(int) != src {
+				return fmt.Errorf("payload %v from %d", v, src)
+			}
+			got[src] = true
+		}
+		return nil
+	})
+	if len(got) != 3 {
+		t.Errorf("received from %d sources, want 3", len(got))
+	}
+}
+
+func TestSendTakesNetworkTime(t *testing.T) {
+	var recvAt float64
+	w := run(t, 2, func(r *Rank) error {
+		if r.Rank() == 0 {
+			return r.Send(1, 0, nil, 1.25e8) // 1 s at 1.25e8 B/s
+		}
+		_, _, err := r.Recv(0, 0)
+		recvAt = r.Wtime()
+		return err
+	})
+	_ = w
+	if recvAt < 1.0 || recvAt > 1.1 {
+		t.Errorf("1.25e8 B arrived at %g, want ~1 s", recvAt)
+	}
+}
+
+func TestTagsSeparateStreams(t *testing.T) {
+	run(t, 2, func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Send(1, 5, "five", 1e3); err != nil {
+				return err
+			}
+			return r.Send(1, 6, "six", 1e3)
+		}
+		// Receive in reverse tag order.
+		v6, _, err := r.Recv(0, 6)
+		if err != nil {
+			return err
+		}
+		v5, _, err := r.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if v5.(string) != "five" || v6.(string) != "six" {
+			return fmt.Errorf("tag mixup: %v %v", v5, v6)
+		}
+		return nil
+	})
+}
+
+func TestComputeScalesWithPower(t *testing.T) {
+	pf, hosts := cluster(t, 2, 2e9)
+	w, _ := New(pf, exact(), hosts)
+	var at float64
+	if err := w.Run(func(r *Rank) error {
+		if r.Rank() == 0 {
+			if err := r.Compute(4e9); err != nil { // 2 s at 2 Gflop/s
+				return err
+			}
+			at = r.Wtime()
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(at-2) > 1e-6 {
+		t.Errorf("compute ended at %g, want 2", at)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var after [5]float64
+	run(t, 5, func(r *Rank) error {
+		// Rank i sleeps i*0.1 s before the barrier.
+		if err := r.Compute(float64(r.Rank()) * 1e8); err != nil {
+			return err
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		after[r.Rank()] = r.Wtime()
+		return nil
+	})
+	// Everyone must leave the barrier at (or after) the slowest entry.
+	for i, ts := range after {
+		if ts < 0.4 {
+			t.Errorf("rank %d left barrier at %g, before slowest entry (0.4)", i, ts)
+		}
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			vals := make([]int, n)
+			run(t, n, func(r *Rank) error {
+				data := any(nil)
+				if r.Rank() == 0 {
+					data = 42
+				}
+				v, err := r.Bcast(0, data, 1e4)
+				if err != nil {
+					return err
+				}
+				vals[r.Rank()] = v.(int)
+				return nil
+			})
+			for i, v := range vals {
+				if v != 42 {
+					t.Errorf("rank %d got %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	vals := make([]string, 6)
+	run(t, 6, func(r *Rank) error {
+		data := any(nil)
+		if r.Rank() == 4 {
+			data = "from4"
+		}
+		v, err := r.Bcast(4, data, 1e4)
+		if err != nil {
+			return err
+		}
+		vals[r.Rank()] = v.(string)
+		return nil
+	})
+	for i, v := range vals {
+		if v != "from4" {
+			t.Errorf("rank %d got %q", i, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			var got float64
+			run(t, n, func(r *Rank) error {
+				v, err := r.Reduce(0, float64(r.Rank()+1), OpSum, 1e3)
+				if err != nil {
+					return err
+				}
+				if r.Rank() == 0 {
+					got = v
+				}
+				return nil
+			})
+			want := float64(n*(n+1)) / 2
+			if got != want {
+				t.Errorf("sum = %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want float64
+	}{
+		{OpMax, 5}, {OpMin, 1}, {OpProd, 120}, {OpSum, 15},
+	}
+	for ci, c := range cases {
+		var got float64
+		run(t, 5, func(r *Rank) error {
+			v, err := r.Reduce(0, float64(r.Rank()+1), c.op, 1e3)
+			if err != nil {
+				return err
+			}
+			if r.Rank() == 0 {
+				got = v
+			}
+			return nil
+		})
+		if got != c.want {
+			t.Errorf("case %d: got %g, want %g", ci, got, c.want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	sums := make([]float64, 7)
+	run(t, 7, func(r *Rank) error {
+		v, err := r.Allreduce(float64(r.Rank()), OpSum, 1e3)
+		if err != nil {
+			return err
+		}
+		sums[r.Rank()] = v
+		return nil
+	})
+	for i, s := range sums {
+		if s != 21 {
+			t.Errorf("rank %d allreduce = %g, want 21", i, s)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	var gathered []any
+	scattered := make([]string, 4)
+	run(t, 4, func(r *Rank) error {
+		g, err := r.Gather(0, fmt.Sprintf("item%d", r.Rank()), 1e3)
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			gathered = g
+		}
+		var items []any
+		if r.Rank() == 0 {
+			items = []any{"s0", "s1", "s2", "s3"}
+		}
+		v, err := r.Scatter(0, items, 1e3)
+		if err != nil {
+			return err
+		}
+		scattered[r.Rank()] = v.(string)
+		return nil
+	})
+	for i := range gathered {
+		if gathered[i].(string) != fmt.Sprintf("item%d", i) {
+			t.Errorf("gathered[%d] = %v", i, gathered[i])
+		}
+	}
+	for i, v := range scattered {
+		if v != fmt.Sprintf("s%d", i) {
+			t.Errorf("scattered[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestAlltoallAllSizes(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			results := make([][]any, n)
+			run(t, n, func(r *Rank) error {
+				items := make([]any, n)
+				for i := range items {
+					items[i] = r.Rank()*100 + i // "from r to i"
+				}
+				out, err := r.Alltoall(items, 1e3)
+				if err != nil {
+					return err
+				}
+				results[r.Rank()] = out
+				return nil
+			})
+			for me := 0; me < n; me++ {
+				for src := 0; src < n; src++ {
+					want := src*100 + me
+					if results[me][src].(int) != want {
+						t.Errorf("n=%d: rank %d from %d = %v, want %d",
+							n, me, src, results[me][src], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBenchOnceCachesAndReplays(t *testing.T) {
+	executions := 0
+	var durations []float64
+	run(t, 2, func(r *Rank) error {
+		for i := 0; i < 3; i++ {
+			dt, err := r.BenchOnce("kernel", func() { executions++ })
+			if err != nil {
+				return err
+			}
+			durations = append(durations, dt)
+		}
+		return nil
+	})
+	if executions != 1 {
+		t.Errorf("benched function ran %d times, want 1 (BENCH_ONCE)", executions)
+	}
+	if len(durations) != 6 {
+		t.Errorf("%d durations recorded", len(durations))
+	}
+}
+
+func TestSetBenchReplaysDeterministically(t *testing.T) {
+	pf, hosts := cluster(t, 1, 1e9)
+	w, _ := New(pf, exact(), hosts)
+	w.SetBench("dgemm", 0.25)
+	ran := false
+	var dt float64
+	if err := w.Run(func(r *Rank) error {
+		var err error
+		dt, err = r.BenchOnce("dgemm", func() { ran = true })
+		return err
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("preloaded bench still executed the function")
+	}
+	if math.Abs(dt-0.25) > 1e-9 {
+		t.Errorf("replayed duration %g, want 0.25", dt)
+	}
+}
+
+func TestBenchScalesWithHostPower(t *testing.T) {
+	// Same cached measurement on a half-speed host takes twice as long.
+	p := platform.New()
+	p.AddHost(&platform.Host{Name: "fast", Power: 1e9})
+	p.AddHost(&platform.Host{Name: "slow", Power: 5e8})
+	l := &platform.Link{Name: "l", Bandwidth: 1e9, Latency: 1e-5}
+	p.AddRoute("fast", "slow", []*platform.Link{l})
+	w, err := New(p, exact(), []string{"fast", "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetBench("k", 1.0) // 1 s measured on the reference machine
+	var dts [2]float64
+	if err := w.Run(func(r *Rank) error {
+		dt, err := r.BenchOnce("k", func() {})
+		dts[r.Rank()] = dt
+		return err
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(dts[0]-1) > 1e-6 {
+		t.Errorf("fast host: %g, want 1", dts[0])
+	}
+	if math.Abs(dts[1]-2) > 1e-6 {
+		t.Errorf("slow host: %g, want 2 (half power)", dts[1])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pf, hosts := cluster(t, 2, 1e9)
+	if _, err := New(pf, exact(), nil); err == nil {
+		t.Error("empty hosts accepted")
+	}
+	if _, err := New(pf, exact(), []string{"ghost"}); err == nil {
+		t.Error("unknown host accepted")
+	}
+	w, _ := New(pf, exact(), hosts)
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() != 0 {
+			return nil
+		}
+		if err := r.Send(99, 0, nil, 1); !errors.Is(err, ErrRank) {
+			return fmt.Errorf("Send(99) = %v", err)
+		}
+		if _, _, err := r.Recv(99, 0); !errors.Is(err, ErrRank) {
+			return fmt.Errorf("Recv(99) = %v", err)
+		}
+		if _, err := r.Bcast(99, nil, 1); !errors.Is(err, ErrRank) {
+			return fmt.Errorf("Bcast(99) = %v", err)
+		}
+		if _, err := r.Reduce(0, 1, nil, 1); !errors.Is(err, ErrMismatch) {
+			return fmt.Errorf("nil op = %v", err)
+		}
+		if _, err := r.Alltoall([]any{1}, 1); !errors.Is(err, ErrMismatch) {
+			return fmt.Errorf("short alltoall = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRankErrorPropagates(t *testing.T) {
+	pf, hosts := cluster(t, 2, 1e9)
+	w, _ := New(pf, exact(), hosts)
+	boom := errors.New("boom")
+	err := w.Run(func(r *Rank) error {
+		if r.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Run = %v, want boom", err)
+	}
+}

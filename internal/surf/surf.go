@@ -1,0 +1,809 @@
+// Package surf implements the virtual platform simulation layer of the
+// stack (the paper's SURF component): CPU and network resource models
+// based on the unifying MaxMin-fairness sharing model, multi-hop
+// communications, trace-driven availability variations, and transient
+// resource failures.
+//
+// All resources live in a single MaxMin system, so computations,
+// communications and parallel tasks can share and interfere exactly as
+// the paper describes ("Used for computation and communication
+// resources […] Interference of communication and computation […]
+// Parallel tasks").
+//
+// The network model follows SimGrid's CM02 fluid TCP model: a transfer
+// first pays the route latency (scaled by LatencyFactor), then receives
+// a MaxMin share of every crossed link's bandwidth (scaled by
+// BandwidthFactor), capped by the TCP window bound TCPGamma / (2·RTT).
+package surf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/maxmin"
+	"repro/internal/platform"
+)
+
+// Errors delivered to processes waiting on failed or canceled actions.
+var (
+	// ErrCanceled is delivered when an action is canceled explicitly.
+	ErrCanceled = errors.New("surf: action canceled")
+	// ErrHostFailed is delivered when the host running a computation
+	// turns off (state trace).
+	ErrHostFailed = core.ErrHostFailed
+	// ErrLinkFailed is delivered when a link on a transfer's route
+	// turns off.
+	ErrLinkFailed = core.ErrLinkFailed
+)
+
+// Config tunes the fluid network model.
+type Config struct {
+	// BandwidthFactor scales nominal link bandwidth to usable payload
+	// throughput (TCP/IP header and dynamics overhead). SimGrid's CM02
+	// uses 0.92 against real testbeds; our packet-level comparator
+	// exhibits a similar payload efficiency.
+	BandwidthFactor float64
+	// LatencyFactor scales nominal route latency (TCP connection and
+	// slow-start warmup overhead folded into a constant).
+	LatencyFactor float64
+	// TCPGamma is the maximum TCP window size in bytes; a flow's rate
+	// is bounded by TCPGamma / (2 · RTT). SimGrid's default is 4 MiB.
+	TCPGamma float64
+	// WeightByRTT, when true, scales each flow's MaxMin weight by
+	// 1/RTT so that short-RTT flows get proportionally more of a shared
+	// bottleneck, reproducing TCP's RTT unfairness (CM02 does this).
+	WeightByRTT bool
+	// RTTReference normalizes RTT weighting (weight = priority ×
+	// RTTReference / RTT); only relative weights matter.
+	RTTReference float64
+}
+
+// DefaultConfig returns the model defaults (CM02-flavoured).
+func DefaultConfig() Config {
+	return Config{
+		BandwidthFactor: 0.92,
+		LatencyFactor:   1.0,
+		TCPGamma:        4194304,
+		WeightByRTT:     true,
+		RTTReference:    1e-3,
+	}
+}
+
+// ActionKind distinguishes computations from communications.
+type ActionKind int
+
+// Action kinds.
+const (
+	ActionCompute ActionKind = iota
+	ActionComm
+	ActionParallel
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionCompute:
+		return "compute"
+	case ActionComm:
+		return "comm"
+	case ActionParallel:
+		return "parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// Action is a unit of resource consumption in flight: a running
+// computation (remaining work in flops), a transfer (remaining bytes),
+// or a parallel task (remaining fraction).
+type Action struct {
+	model *Model
+	kind  ActionKind
+	name  string
+
+	v          *maxmin.Variable
+	resources  []*resource // for failure propagation
+	remaining  float64
+	remLatency float64
+	rate       float64
+	priority   float64
+	weightMul  float64 // RTT-derived weight multiplier (1 for compute)
+	bound      float64
+
+	start  float64
+	finish float64
+
+	waiter     *core.Process
+	onComplete func(err error)
+	done       bool
+	err        error
+
+	suspended bool
+}
+
+// Kind returns the action kind.
+func (a *Action) Kind() ActionKind { return a.kind }
+
+// Name returns the diagnostic name given at creation.
+func (a *Action) Name() string { return a.name }
+
+// Remaining returns the remaining work (flops, bytes or fraction).
+func (a *Action) Remaining() float64 { return a.remaining }
+
+// Rate returns the currently allocated progress rate.
+func (a *Action) Rate() float64 { return a.rate }
+
+// Done reports whether the action finished (successfully or not).
+func (a *Action) Done() bool { return a.done }
+
+// Err returns the failure cause, or nil for success / in flight.
+func (a *Action) Err() error { return a.err }
+
+// Start returns the virtual time the action was created at.
+func (a *Action) Start() float64 { return a.start }
+
+// Finish returns the virtual completion time (valid once Done).
+func (a *Action) Finish() float64 { return a.finish }
+
+// Wait blocks the calling process until the action completes and
+// returns its outcome. Only one process may wait on an action.
+func (a *Action) Wait(p *core.Process) error {
+	if a.done {
+		return a.err
+	}
+	if a.waiter != nil {
+		return fmt.Errorf("surf: action %q already has a waiter", a.name)
+	}
+	a.waiter = p
+	return p.Block()
+}
+
+// SetOnComplete registers a callback invoked in kernel context when the
+// action finishes (err nil on success). Layers needing to wake several
+// processes on one completion (e.g. MSG's sender+receiver) use this
+// instead of Wait. If the action is already done the callback fires
+// immediately.
+func (a *Action) SetOnComplete(fn func(err error)) {
+	if a.done {
+		fn(a.err)
+		return
+	}
+	a.onComplete = fn
+}
+
+// Cancel aborts the action, delivering ErrCanceled to its waiter.
+func (a *Action) Cancel() {
+	if !a.done {
+		a.model.complete(a, ErrCanceled)
+	}
+}
+
+// effWeight is the MaxMin weight of the action: its priority scaled by
+// the RTT multiplier of the network model.
+func (a *Action) effWeight() float64 {
+	if a.weightMul > 0 {
+		return a.priority * a.weightMul
+	}
+	return a.priority
+}
+
+// SetPriority changes the action's MaxMin sharing weight.
+func (a *Action) SetPriority(w float64) {
+	if a.done || w <= 0 {
+		return
+	}
+	a.priority = w
+	if !a.suspended {
+		a.model.sys.SetWeight(a.v, a.effWeight())
+	}
+}
+
+// Suspend freezes the action: it keeps its resources but receives a
+// zero share until Resume.
+func (a *Action) Suspend() {
+	if a.done || a.suspended {
+		return
+	}
+	a.suspended = true
+	a.model.sys.SetWeight(a.v, 0)
+}
+
+// Resume unfreezes a suspended action.
+func (a *Action) Resume() {
+	if a.done || !a.suspended {
+		return
+	}
+	a.suspended = false
+	a.model.sys.SetWeight(a.v, a.effWeight())
+}
+
+// Suspended reports whether the action is currently frozen.
+func (a *Action) Suspended() bool { return a.suspended }
+
+// resource wraps a platform element with its MaxMin constraint and
+// dynamic state.
+type resource struct {
+	name    string
+	cnst    *maxmin.Constraint
+	nominal float64 // configured capacity (after model factors)
+	avail   float64 // current availability scaling in [0,1]
+	on      bool
+	isHost  bool
+	host    *platform.Host
+	link    *platform.Link
+	failErr error
+}
+
+func (r *resource) effectiveCapacity() float64 {
+	if !r.on {
+		return 0
+	}
+	return r.nominal * r.avail
+}
+
+// Model is the SURF resource model: it owns every CPU and link of a
+// platform and advances all actions in virtual time. It implements
+// core.Model.
+type Model struct {
+	eng *core.Engine
+	pf  *platform.Platform
+	cfg Config
+	sys *maxmin.System
+
+	cpus  map[string]*resource
+	links map[string]*resource
+
+	actions map[*Action]struct{}
+
+	// OnHostStateChange is invoked (in kernel context) when a host
+	// turns off or on via its state trace; upper layers use it to kill
+	// the processes of failed hosts.
+	OnHostStateChange func(host *platform.Host, up bool)
+}
+
+// New builds the resource model for a platform, registering it with the
+// engine and scheduling all trace events.
+func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
+	if cfg.BandwidthFactor <= 0 {
+		cfg.BandwidthFactor = 1
+	}
+	if cfg.LatencyFactor <= 0 {
+		cfg.LatencyFactor = 1
+	}
+	m := &Model{
+		eng:     eng,
+		pf:      pf,
+		cfg:     cfg,
+		sys:     maxmin.NewSystem(),
+		cpus:    make(map[string]*resource),
+		links:   make(map[string]*resource),
+		actions: make(map[*Action]struct{}),
+	}
+	for _, h := range pf.Hosts() {
+		r := &resource{
+			name:    h.Name,
+			nominal: h.Power,
+			avail:   1,
+			on:      true,
+			isHost:  true,
+			host:    h,
+			failErr: ErrHostFailed,
+		}
+		r.cnst = m.sys.NewConstraint(r.nominal)
+		r.cnst.Data = r
+		h.Data = r
+		m.cpus[h.Name] = r
+		m.scheduleTraces(r, h.Availability, h.StateTrace)
+	}
+	// endpoints of each link in the connection graph, for split-duplex
+	// directional constraints (same key scheme as the packet simulator).
+	ends := make(map[string][2]string)
+	for _, e := range pf.Edges() {
+		ends[e.Link.Name] = [2]string{e.A, e.B}
+	}
+	for _, l := range pf.Links() {
+		mk := func(key string) *resource {
+			r := &resource{
+				name:    key,
+				nominal: l.Bandwidth * cfg.BandwidthFactor,
+				avail:   1,
+				on:      true,
+				link:    l,
+				failErr: ErrLinkFailed,
+			}
+			r.cnst = m.sys.NewConstraint(r.nominal)
+			r.cnst.Data = r
+			if l.Policy == platform.Fatpipe {
+				m.sys.SetShared(r.cnst, false)
+			}
+			m.links[key] = r
+			m.scheduleTraces(r, l.BandwidthTrace, l.StateTrace)
+			return r
+		}
+		if ep, ok := ends[l.Name]; ok && l.Policy == platform.SplitDuplex {
+			// One independent constraint per direction.
+			mk(l.Name + "->" + ep[0])
+			r := mk(l.Name + "->" + ep[1])
+			l.Data = r
+		} else {
+			l.Data = mk(l.Name)
+		}
+	}
+	eng.AddModel(m)
+	return m
+}
+
+// Engine returns the engine the model is attached to.
+func (m *Model) Engine() *core.Engine { return m.eng }
+
+// Platform returns the simulated platform.
+func (m *Model) Platform() *platform.Platform { return m.pf }
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// HostUp reports whether a host is currently on.
+func (m *Model) HostUp(name string) bool {
+	r := m.cpus[name]
+	return r != nil && r.on
+}
+
+// LinkUp reports whether a link is currently on (both directions, for
+// split-duplex links).
+func (m *Model) LinkUp(name string) bool {
+	rs := m.linkResources(name)
+	if len(rs) == 0 {
+		return false
+	}
+	for _, r := range rs {
+		if !r.on {
+			return false
+		}
+	}
+	return true
+}
+
+// HostLoad returns the current MaxMin usage of a host CPU in flop/s.
+func (m *Model) HostLoad(name string) float64 {
+	r := m.cpus[name]
+	if r == nil {
+		return 0
+	}
+	return r.cnst.Usage()
+}
+
+// Execute starts a computation of the given amount of flops on a host.
+func (m *Model) Execute(hostName string, flops, priority float64) (*Action, error) {
+	r, ok := m.cpus[hostName]
+	if !ok {
+		return nil, fmt.Errorf("surf: unknown host %q", hostName)
+	}
+	if priority <= 0 {
+		priority = 1
+	}
+	a := &Action{
+		model:     m,
+		kind:      ActionCompute,
+		name:      fmt.Sprintf("exec@%s", hostName),
+		remaining: flops,
+		priority:  priority,
+		start:     m.eng.Now(),
+	}
+	if !r.on {
+		a.done = true
+		a.err = ErrHostFailed
+		a.finish = a.start
+		return a, nil
+	}
+	a.v = m.sys.NewVariable(priority, 0)
+	a.v.Data = a
+	m.sys.Expand(r.cnst, a.v, 1)
+	a.resources = []*resource{r}
+	m.actions[a] = struct{}{}
+	return a, nil
+}
+
+// linkResources returns the resources implementing a platform link
+// (two for split-duplex links, one otherwise).
+func (m *Model) linkResources(name string) []*resource {
+	if r, ok := m.links[name]; ok {
+		return []*resource{r}
+	}
+	var out []*resource
+	for key, r := range m.links {
+		if r.link != nil && r.link.Name == name && key != name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// routeResources resolves the (directed) resources a transfer crosses.
+// Split-duplex links resolve to the constraint of the traversed
+// direction via the hop-level route.
+func (m *Model) routeResources(src, dst string, links []*platform.Link) ([]*resource, error) {
+	needHops := false
+	for _, l := range links {
+		if _, single := m.links[l.Name]; !single {
+			needHops = true
+			break
+		}
+	}
+	if !needHops {
+		out := make([]*resource, len(links))
+		for i, l := range links {
+			out[i] = m.links[l.Name]
+			if out[i] == nil {
+				return nil, fmt.Errorf("surf: route uses unknown link %q", l.Name)
+			}
+		}
+		return out, nil
+	}
+	hops, err := m.pf.HopRoute(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("surf: split-duplex route needs hop information: %w", err)
+	}
+	out := make([]*resource, len(hops))
+	for i, h := range hops {
+		r := m.links[h.Link.Name+"->"+h.B]
+		if r == nil {
+			r = m.links[h.Link.Name]
+		}
+		if r == nil {
+			return nil, fmt.Errorf("surf: route uses unknown link %q", h.Link.Name)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Communicate starts a transfer of the given number of bytes between
+// two hosts. The transfer pays the route latency first, then shares
+// bandwidth on every crossed link (the traversed direction only, for
+// split-duplex links), bounded by the TCP window cap.
+func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
+	route, err := m.pf.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	lat := route.Latency() * m.cfg.LatencyFactor
+	a := &Action{
+		model:      m,
+		kind:       ActionComm,
+		name:       fmt.Sprintf("comm %s->%s", src, dst),
+		remaining:  bytes,
+		remLatency: lat,
+		priority:   1,
+		start:      m.eng.Now(),
+	}
+	if m.cfg.TCPGamma > 0 && lat > 0 {
+		a.bound = m.cfg.TCPGamma / (2 * route.Latency())
+	}
+	if m.cfg.WeightByRTT && route.Latency() > 0 {
+		ref := m.cfg.RTTReference
+		if ref <= 0 {
+			ref = 1e-3
+		}
+		a.weightMul = ref / route.Latency()
+	}
+	if len(route.Links) == 0 {
+		// Intra-host messaging: no network resource crossed, the data
+		// "moves" instantly after the (zero) latency.
+		a.remaining = 0
+	}
+	// Weight starts at 0 while the latency is paid; activated when the
+	// latency phase ends (or immediately for zero-latency routes).
+	w := 0.0
+	if lat <= 0 {
+		a.remLatency = 0
+		w = a.effWeight()
+	}
+	rs, err := m.routeResources(src, dst, route.Links)
+	if err != nil {
+		return nil, err
+	}
+	a.v = m.sys.NewVariable(w, a.bound)
+	a.v.Data = a
+	for _, r := range rs {
+		if !r.on {
+			a.done = true
+			a.err = ErrLinkFailed
+			a.finish = a.start
+			m.sys.RemoveVariable(a.v)
+			a.v = nil
+			return a, nil
+		}
+		m.sys.Expand(r.cnst, a.v, 1)
+		a.resources = append(a.resources, r)
+	}
+	m.actions[a] = struct{}{}
+	return a, nil
+}
+
+// ExecuteParallel starts a parallel task consuming CPU on several hosts
+// and bandwidth between them simultaneously (SimGrid's "ptask" / L07
+// model). flops[i] is the work on hosts[i]; bytes[i][j] the data moved
+// from hosts[i] to hosts[j]. The action's remaining work is the task
+// fraction (1 → 0), and each resource is consumed proportionally.
+func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float64) (*Action, error) {
+	if len(flops) != len(hosts) {
+		return nil, fmt.Errorf("surf: ExecuteParallel: %d hosts but %d flop amounts", len(hosts), len(flops))
+	}
+	if bytes != nil && len(bytes) != len(hosts) {
+		return nil, fmt.Errorf("surf: ExecuteParallel: bad bytes matrix")
+	}
+	a := &Action{
+		model:     m,
+		kind:      ActionParallel,
+		name:      fmt.Sprintf("ptask(%d hosts)", len(hosts)),
+		remaining: 1,
+		priority:  1,
+		start:     m.eng.Now(),
+	}
+	a.v = m.sys.NewVariable(1, 0)
+	a.v.Data = a
+	seen := make(map[*resource]bool)
+	use := func(r *resource, amount float64) error {
+		if !r.on {
+			return r.failErr
+		}
+		m.sys.Expand(r.cnst, a.v, amount)
+		if !seen[r] {
+			seen[r] = true
+			a.resources = append(a.resources, r)
+		}
+		return nil
+	}
+	abort := func(err error) (*Action, error) {
+		m.sys.RemoveVariable(a.v)
+		a.v = nil
+		a.done = true
+		a.err = err
+		a.finish = a.start
+		return a, nil
+	}
+	for i, hn := range hosts {
+		r, ok := m.cpus[hn]
+		if !ok {
+			m.sys.RemoveVariable(a.v)
+			return nil, fmt.Errorf("surf: unknown host %q", hn)
+		}
+		if flops[i] <= 0 {
+			continue
+		}
+		if err := use(r, flops[i]); err != nil {
+			return abort(err)
+		}
+	}
+	for i := range bytes {
+		if len(bytes[i]) != len(hosts) {
+			m.sys.RemoveVariable(a.v)
+			return nil, fmt.Errorf("surf: ExecuteParallel: bytes row %d has %d entries, want %d", i, len(bytes[i]), len(hosts))
+		}
+		for j := range bytes[i] {
+			if i == j || bytes[i][j] <= 0 {
+				continue
+			}
+			route, err := m.pf.Route(hosts[i], hosts[j])
+			if err != nil {
+				m.sys.RemoveVariable(a.v)
+				return nil, err
+			}
+			rs, err := m.routeResources(hosts[i], hosts[j], route.Links)
+			if err != nil {
+				m.sys.RemoveVariable(a.v)
+				return nil, err
+			}
+			for _, r := range rs {
+				if err := use(r, bytes[i][j]); err != nil {
+					return abort(err)
+				}
+			}
+		}
+	}
+	if len(a.resources) == 0 {
+		// Nothing to do: completes instantly.
+		a.remaining = 0
+	}
+	m.actions[a] = struct{}{}
+	return a, nil
+}
+
+const eps = 1e-9
+
+// refresh re-solves the MaxMin system if needed and refreshes cached
+// action rates.
+func (m *Model) refresh() {
+	if !m.sys.Dirty() {
+		return
+	}
+	m.sys.Solve()
+	for a := range m.actions {
+		if a.v != nil {
+			a.rate = a.v.Value()
+		}
+	}
+}
+
+// NextEventTime implements core.Model.
+func (m *Model) NextEventTime(now float64) float64 {
+	m.refresh()
+	next := math.Inf(1)
+	for a := range m.actions {
+		var t float64
+		switch {
+		case a.remLatency > 0:
+			t = now + a.remLatency
+		case a.remaining <= eps:
+			t = now
+		case a.rate > eps:
+			t = now + a.remaining/a.rate
+		default:
+			continue // suspended or starved: no event from this action
+		}
+		if t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// AdvanceTo implements core.Model.
+func (m *Model) AdvanceTo(now, t float64) {
+	m.refresh()
+	dt := t - now
+	if dt < 0 {
+		dt = 0
+	}
+	var finished []*Action
+	for a := range m.actions {
+		if a.remLatency > 0 {
+			a.remLatency -= dt
+			if a.remLatency <= eps {
+				a.remLatency = 0
+				// Latency paid: enter the bandwidth-sharing phase.
+				if !a.suspended {
+					m.sys.SetWeight(a.v, a.effWeight())
+				}
+			}
+			continue
+		}
+		a.remaining -= a.rate * dt
+		// Complete when the residual work is negligible in absolute
+		// terms, or when the residual *time* to finish it underflows
+		// the clock's float64 resolution (otherwise now + rem/rate
+		// rounds to now and the simulation would spin).
+		if a.remaining <= eps ||
+			(a.rate > eps && a.remaining/a.rate <= 1e-12*(1+t)) {
+			a.remaining = 0
+			finished = append(finished, a)
+		}
+	}
+	// Deterministic completion order (by start time then name).
+	sortActions(finished)
+	for _, a := range finished {
+		m.complete(a, nil)
+	}
+}
+
+func sortActions(actions []*Action) {
+	for i := 1; i < len(actions); i++ {
+		for j := i; j > 0; j-- {
+			x, y := actions[j], actions[j-1]
+			if x.start < y.start || (x.start == y.start && x.name < y.name) {
+				actions[j], actions[j-1] = y, x
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// complete finishes an action (err == nil for success) and wakes its
+// waiter.
+func (m *Model) complete(a *Action, err error) {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.err = err
+	a.finish = m.eng.Now()
+	if a.v != nil {
+		m.sys.RemoveVariable(a.v)
+		a.v = nil
+	}
+	delete(m.actions, a)
+	if a.waiter != nil {
+		w := a.waiter
+		a.waiter = nil
+		m.eng.Wake(w, err)
+	}
+	if a.onComplete != nil {
+		fn := a.onComplete
+		a.onComplete = nil
+		fn(err)
+	}
+}
+
+// setResourceState turns a resource on or off, failing in-flight
+// actions when it goes down.
+func (m *Model) setResourceState(r *resource, up bool) {
+	if r.on == up {
+		return
+	}
+	r.on = up
+	m.sys.SetCapacity(r.cnst, r.effectiveCapacity())
+	if !up {
+		var victims []*Action
+		for a := range m.actions {
+			for _, ar := range a.resources {
+				if ar == r {
+					victims = append(victims, a)
+					break
+				}
+			}
+		}
+		sortActions(victims)
+		for _, a := range victims {
+			m.complete(a, r.failErr)
+		}
+	}
+	if r.isHost && m.OnHostStateChange != nil {
+		m.OnHostStateChange(r.host, up)
+	}
+}
+
+// setResourceAvail rescales a resource's capacity (availability trace).
+func (m *Model) setResourceAvail(r *resource, avail float64) {
+	if avail < 0 {
+		avail = 0
+	}
+	r.avail = avail
+	m.sys.SetCapacity(r.cnst, r.effectiveCapacity())
+}
+
+// FailHost turns a host off programmatically (equivalent to a state
+// trace hitting 0). Useful for failure-injection tests.
+func (m *Model) FailHost(name string) error {
+	r, ok := m.cpus[name]
+	if !ok {
+		return fmt.Errorf("surf: unknown host %q", name)
+	}
+	m.setResourceState(r, false)
+	return nil
+}
+
+// RestoreHost turns a failed host back on.
+func (m *Model) RestoreHost(name string) error {
+	r, ok := m.cpus[name]
+	if !ok {
+		return fmt.Errorf("surf: unknown host %q", name)
+	}
+	m.setResourceState(r, true)
+	return nil
+}
+
+// FailLink turns a link off programmatically (both directions).
+func (m *Model) FailLink(name string) error {
+	rs := m.linkResources(name)
+	if len(rs) == 0 {
+		return fmt.Errorf("surf: unknown link %q", name)
+	}
+	for _, r := range rs {
+		m.setResourceState(r, false)
+	}
+	return nil
+}
+
+// RestoreLink turns a failed link back on (both directions).
+func (m *Model) RestoreLink(name string) error {
+	rs := m.linkResources(name)
+	if len(rs) == 0 {
+		return fmt.Errorf("surf: unknown link %q", name)
+	}
+	for _, r := range rs {
+		m.setResourceState(r, true)
+	}
+	return nil
+}

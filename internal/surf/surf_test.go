@@ -1,0 +1,711 @@
+package surf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// testPlatform builds two hosts joined by one link:
+// h1 (1 Gflop/s) -- l1 (1e8 B/s, 10 ms) -- h2 (2 Gflop/s).
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p := platform.New()
+	if err := p.AddHost(&platform.Host{Name: "h1", Power: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddHost(&platform.Host{Name: "h2", Power: 2e9}); err != nil {
+		t.Fatal(err)
+	}
+	l := &platform.Link{Name: "l1", Bandwidth: 1e8, Latency: 0.01}
+	if err := p.AddRoute("h1", "h2", []*platform.Link{l}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// exactCfg disables calibration factors so tests can assert exact times.
+func exactCfg() Config { return Config{BandwidthFactor: 1, LatencyFactor: 1, TCPGamma: 0} }
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExecuteDuration(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var doneAt float64
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, err := m.Execute("h1", 2e9, 1) // 2 Gflop on 1 Gflop/s
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		if err := a.Wait(p); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		doneAt = e.Now()
+		if !a.Done() || a.Err() != nil {
+			t.Error("action not done/clean")
+		}
+		if a.Start() != 0 || !approx(a.Finish(), 2, 1e-9) {
+			t.Errorf("start/finish = %g/%g", a.Start(), a.Finish())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(doneAt, 2, 1e-9) {
+		t.Errorf("done at %g, want 2", doneAt)
+	}
+}
+
+func TestExecuteOnFasterHost(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, _ := m.Execute("h2", 2e9, 1) // 2 Gflop on 2 Gflop/s
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(e.Now(), 1, 1e-9) {
+		t.Errorf("finished at %g, want 1", e.Now())
+	}
+}
+
+func TestTwoExecutionsShareCPU(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var t1, t2 float64
+	spawn := func(out *float64) {
+		e.Spawn("p", nil, func(p *core.Process) {
+			a, _ := m.Execute("h1", 1e9, 1)
+			a.Wait(p)
+			*out = e.Now()
+		})
+	}
+	spawn(&t1)
+	spawn(&t2)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two 1-second tasks sharing: both end at t=2.
+	if !approx(t1, 2, 1e-9) || !approx(t2, 2, 1e-9) {
+		t.Errorf("finished at %g/%g, want 2/2", t1, t2)
+	}
+}
+
+func TestPriorityGetsBiggerShare(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var tHigh, tLow float64
+	e.Spawn("high", nil, func(p *core.Process) {
+		a, _ := m.Execute("h1", 1e9, 3) // 3x priority
+		a.Wait(p)
+		tHigh = e.Now()
+	})
+	e.Spawn("low", nil, func(p *core.Process) {
+		a, _ := m.Execute("h1", 1e9, 1)
+		a.Wait(p)
+		tLow = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// High gets 0.75 Gflop/s -> finishes at 4/3; low then speeds up:
+	// at 4/3 low has done 1/3 Gflop, 2/3 remaining at full speed -> 2.
+	if !approx(tHigh, 4.0/3, 1e-6) {
+		t.Errorf("high finished at %g, want 4/3", tHigh)
+	}
+	if !approx(tLow, 2, 1e-6) {
+		t.Errorf("low finished at %g, want 2", tLow)
+	}
+}
+
+func TestCommunicateLatencyPlusBandwidth(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, err := m.Communicate("h1", "h2", 1e8) // 1e8 B at 1e8 B/s + 10ms
+		if err != nil {
+			t.Errorf("Communicate: %v", err)
+			return
+		}
+		if a.Kind() != ActionComm {
+			t.Errorf("kind = %v", a.Kind())
+		}
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(e.Now(), 1.01, 1e-9) {
+		t.Errorf("finished at %g, want 1.01", e.Now())
+	}
+}
+
+func TestBandwidthFactorScalesRate(t *testing.T) {
+	e := core.New()
+	cfg := Config{BandwidthFactor: 0.5, LatencyFactor: 1, TCPGamma: 0}
+	m := New(e, testPlatform(t), cfg)
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, _ := m.Communicate("h1", "h2", 1e8)
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Effective bandwidth 5e7 -> 2 s + 10 ms.
+	if !approx(e.Now(), 2.01, 1e-9) {
+		t.Errorf("finished at %g, want 2.01", e.Now())
+	}
+}
+
+func TestLatencyFactorScalesLatency(t *testing.T) {
+	e := core.New()
+	cfg := Config{BandwidthFactor: 1, LatencyFactor: 10, TCPGamma: 0}
+	m := New(e, testPlatform(t), cfg)
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, _ := m.Communicate("h1", "h2", 1e8)
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(e.Now(), 1.1, 1e-9) {
+		t.Errorf("finished at %g, want 1.1", e.Now())
+	}
+}
+
+func TestTCPWindowBound(t *testing.T) {
+	// gamma/(2*RTT) = 1e6/(2*0.01) = 5e7 < bandwidth 1e8: window-bound.
+	e := core.New()
+	cfg := Config{BandwidthFactor: 1, LatencyFactor: 1, TCPGamma: 1e6}
+	m := New(e, testPlatform(t), cfg)
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, _ := m.Communicate("h1", "h2", 5e7)
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 5e7 bytes at 5e7 B/s + 0.01 latency = 1.01.
+	if !approx(e.Now(), 1.01, 1e-6) {
+		t.Errorf("finished at %g, want 1.01 (window-bound)", e.Now())
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var t1, t2 float64
+	spawn := func(out *float64) {
+		e.Spawn("f", nil, func(p *core.Process) {
+			a, _ := m.Communicate("h1", "h2", 5e7)
+			a.Wait(p)
+			*out = e.Now()
+		})
+	}
+	spawn(&t1)
+	spawn(&t2)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Each gets 5e7 B/s: 1 s transfer + 10 ms latency.
+	if !approx(t1, 1.01, 1e-6) || !approx(t2, 1.01, 1e-6) {
+		t.Errorf("finished at %g/%g, want 1.01", t1, t2)
+	}
+}
+
+func TestFatpipeDoesNotShare(t *testing.T) {
+	p := platform.New()
+	p.AddHost(&platform.Host{Name: "h1", Power: 1e9})
+	p.AddHost(&platform.Host{Name: "h2", Power: 1e9})
+	l := &platform.Link{Name: "bb", Bandwidth: 1e8, Latency: 0, Policy: platform.Fatpipe}
+	p.AddRoute("h1", "h2", []*platform.Link{l})
+	e := core.New()
+	m := New(e, p, exactCfg())
+	var times []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("f", nil, func(pr *core.Process) {
+			a, _ := m.Communicate("h1", "h2", 1e8)
+			a.Wait(pr)
+			times = append(times, e.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, ts := range times {
+		if !approx(ts, 1, 1e-6) {
+			t.Errorf("fatpipe flow finished at %g, want 1", ts)
+		}
+	}
+}
+
+func TestMultiHopUsesAllLinks(t *testing.T) {
+	p := platform.New()
+	p.AddHost(&platform.Host{Name: "a", Power: 1e9})
+	p.AddHost(&platform.Host{Name: "b", Power: 1e9})
+	l1 := &platform.Link{Name: "l1", Bandwidth: 1e8, Latency: 0.001}
+	l2 := &platform.Link{Name: "l2", Bandwidth: 5e7, Latency: 0.002} // bottleneck
+	p.AddRoute("a", "b", []*platform.Link{l1, l2})
+	e := core.New()
+	m := New(e, p, exactCfg())
+	e.Spawn("f", nil, func(pr *core.Process) {
+		a, _ := m.Communicate("a", "b", 5e7)
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Bottleneck 5e7 B/s -> 1 s, latency 3 ms.
+	if !approx(e.Now(), 1.003, 1e-6) {
+		t.Errorf("finished at %g, want 1.003", e.Now())
+	}
+}
+
+func TestIntraHostCommIsInstant(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, err := m.Communicate("h1", "h1", 1e9)
+		if err != nil {
+			t.Errorf("Communicate: %v", err)
+			return
+		}
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("intra-host comm took %g, want 0", e.Now())
+	}
+}
+
+func TestZeroFlopsInstant(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(p *core.Process) {
+		a, _ := m.Execute("h1", 0, 1)
+		a.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("zero-flop exec took %g", e.Now())
+	}
+}
+
+func TestUnknownHostAndRoute(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	if _, err := m.Execute("ghost", 1, 1); err == nil {
+		t.Error("Execute on unknown host accepted")
+	}
+	if _, err := m.Communicate("ghost", "h1", 1); err == nil {
+		t.Error("Communicate from unknown host accepted")
+	}
+}
+
+func TestAvailabilityTraceSlowsCPU(t *testing.T) {
+	p := testPlatform(t)
+	// h1 drops to 50% power at t=1 forever.
+	p.Host("h1").Availability = trace.MustNew("av", []trace.Event{{Time: 1, Value: 0.5}}, 0)
+	e := core.New()
+	m := New(e, p, exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 2e9, 1)
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 1 Gflop done in first second; remaining 1 Gflop at 0.5 Gflop/s = 2 s.
+	if !approx(e.Now(), 3, 1e-6) {
+		t.Errorf("finished at %g, want 3", e.Now())
+	}
+}
+
+func TestPeriodicAvailabilityTrace(t *testing.T) {
+	p := testPlatform(t)
+	// Alternates full/half speed every second, period 2.
+	p.Host("h1").Availability = trace.MustNew("av",
+		[]trace.Event{{Time: 0, Value: 1}, {Time: 1, Value: 0.5}}, 2)
+	e := core.New()
+	m := New(e, p, exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 3e9, 1)
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Work per period: 1 + 0.5 = 1.5 Gflop. 3 Gflop = 2 periods = 4 s.
+	if !approx(e.Now(), 4, 1e-6) {
+		t.Errorf("finished at %g, want 4", e.Now())
+	}
+}
+
+func TestStateTraceFailsComputation(t *testing.T) {
+	p := testPlatform(t)
+	p.Host("h1").StateTrace = trace.MustNew("st", []trace.Event{{Time: 1, Value: 0}}, 0)
+	e := core.New()
+	m := New(e, p, exactCfg())
+	var hostDown bool
+	m.OnHostStateChange = func(h *platform.Host, up bool) {
+		if h.Name == "h1" && !up {
+			hostDown = true
+		}
+	}
+	var gotErr error
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 1e10, 1)
+		gotErr = a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, ErrHostFailed) {
+		t.Errorf("Wait = %v, want ErrHostFailed", gotErr)
+	}
+	if !hostDown {
+		t.Error("OnHostStateChange not called")
+	}
+	if !approx(e.Now(), 1, 1e-9) {
+		t.Errorf("failed at %g, want 1", e.Now())
+	}
+	if m.HostUp("h1") {
+		t.Error("h1 still reported up")
+	}
+}
+
+func TestStateTraceRecovery(t *testing.T) {
+	p := testPlatform(t)
+	p.Host("h1").StateTrace = trace.MustNew("st",
+		[]trace.Event{{Time: 1, Value: 0}, {Time: 2, Value: 1}}, 0)
+	e := core.New()
+	m := New(e, p, exactCfg())
+	var phase2 error
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 1e10, 1)
+		if err := a.Wait(pr); !errors.Is(err, ErrHostFailed) {
+			t.Errorf("first Wait = %v", err)
+		}
+		pr.Sleep(1.5) // wait past recovery (t=2.5)
+		a2, _ := m.Execute("h1", 1e9, 1)
+		phase2 = a2.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if phase2 != nil {
+		t.Errorf("post-recovery exec failed: %v", phase2)
+	}
+	if !approx(e.Now(), 3.5, 1e-6) {
+		t.Errorf("finished at %g, want 3.5", e.Now())
+	}
+}
+
+func TestLinkFailureKillsTransfer(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var gotErr error
+	e.Spawn("f", nil, func(pr *core.Process) {
+		a, _ := m.Communicate("h1", "h2", 1e9)
+		gotErr = a.Wait(pr)
+	})
+	e.Spawn("saboteur", nil, func(pr *core.Process) {
+		pr.Sleep(0.5)
+		m.FailLink("l1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, ErrLinkFailed) {
+		t.Errorf("Wait = %v, want ErrLinkFailed", gotErr)
+	}
+	if m.LinkUp("l1") {
+		t.Error("l1 still up")
+	}
+}
+
+func TestCommOnDownLinkFailsImmediately(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var gotErr error
+	e.Spawn("f", nil, func(pr *core.Process) {
+		m.FailLink("l1")
+		a, err := m.Communicate("h1", "h2", 1e3)
+		if err != nil {
+			t.Errorf("Communicate: %v", err)
+			return
+		}
+		gotErr = a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, ErrLinkFailed) {
+		t.Errorf("Wait = %v, want ErrLinkFailed", gotErr)
+	}
+}
+
+func TestExecOnDownHostFailsImmediately(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var gotErr error
+	e.Spawn("p", nil, func(pr *core.Process) {
+		m.FailHost("h1")
+		a, _ := m.Execute("h1", 1e3, 1)
+		gotErr = a.Wait(pr)
+		m.RestoreHost("h1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, ErrHostFailed) {
+		t.Errorf("Wait = %v, want ErrHostFailed", gotErr)
+	}
+	if !m.HostUp("h1") {
+		t.Error("h1 not restored")
+	}
+}
+
+func TestCancelAction(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var gotErr error
+	var act *Action
+	e.Spawn("p", nil, func(pr *core.Process) {
+		act, _ = m.Execute("h1", 1e12, 1)
+		gotErr = act.Wait(pr)
+	})
+	e.Spawn("canceler", nil, func(pr *core.Process) {
+		pr.Sleep(1)
+		act.Cancel()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, ErrCanceled) {
+		t.Errorf("Wait = %v, want ErrCanceled", gotErr)
+	}
+}
+
+func TestSuspendResumeAction(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var act *Action
+	var doneAt float64
+	e.Spawn("p", nil, func(pr *core.Process) {
+		act, _ = m.Execute("h1", 2e9, 1) // 2 s of work
+		act.Wait(pr)
+		doneAt = e.Now()
+	})
+	e.Spawn("ctl", nil, func(pr *core.Process) {
+		pr.Sleep(1)
+		act.Suspend()
+		if !act.Suspended() {
+			t.Error("not suspended")
+		}
+		pr.Sleep(3)
+		act.Resume()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 1 s work + 3 s frozen + 1 s work = 5.
+	if !approx(doneAt, 5, 1e-6) {
+		t.Errorf("done at %g, want 5", doneAt)
+	}
+}
+
+func TestParallelTaskSpansResources(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		// 1 Gflop on h1 (1 Gflop/s), 1 Gflop on h2 (2 Gflop/s), and
+		// 5e7 B h1->h2 (1e8 B/s): rate x bounded by h1: x <= 1;
+		// completion at 1/x = 1 s (h1 is the bottleneck).
+		a, err := m.ExecuteParallel(
+			[]string{"h1", "h2"},
+			[]float64{1e9, 1e9},
+			[][]float64{{0, 5e7}, {0, 0}},
+		)
+		if err != nil {
+			t.Errorf("ExecuteParallel: %v", err)
+			return
+		}
+		if a.Kind() != ActionParallel {
+			t.Errorf("kind = %v", a.Kind())
+		}
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(e.Now(), 1, 1e-6) {
+		t.Errorf("ptask finished at %g, want 1", e.Now())
+	}
+}
+
+func TestParallelTaskValidation(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	if _, err := m.ExecuteParallel([]string{"h1"}, []float64{1, 2}, nil); err == nil {
+		t.Error("mismatched flops accepted")
+	}
+	if _, err := m.ExecuteParallel([]string{"ghost"}, []float64{1}, nil); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, err := m.ExecuteParallel([]string{"h1", "h2"}, []float64{1, 1}, [][]float64{{0}}); err == nil {
+		t.Error("bad matrix accepted")
+	}
+}
+
+func TestEmptyParallelTaskInstant(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, err := m.ExecuteParallel([]string{"h1"}, []float64{0}, nil)
+		if err != nil {
+			t.Errorf("ExecuteParallel: %v", err)
+			return
+		}
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("empty ptask took %g", e.Now())
+	}
+}
+
+func TestComputeAndCommCoexist(t *testing.T) {
+	// Computation and communication don't interfere (separate
+	// resources) but both advance in the same timeline.
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var tExec, tComm float64
+	e.Spawn("cpu", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 1e9, 1)
+		a.Wait(pr)
+		tExec = e.Now()
+	})
+	e.Spawn("net", nil, func(pr *core.Process) {
+		a, _ := m.Communicate("h1", "h2", 5e7)
+		a.Wait(pr)
+		tComm = e.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(tExec, 1, 1e-6) {
+		t.Errorf("exec at %g, want 1", tExec)
+	}
+	if !approx(tComm, 0.51, 1e-6) {
+		t.Errorf("comm at %g, want 0.51", tComm)
+	}
+}
+
+func TestHostLoadReporting(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 1e9, 1)
+		pr.Sleep(0.5)
+		if load := m.HostLoad("h1"); !approx(load, 1e9, 1) {
+			t.Errorf("HostLoad = %g, want 1e9", load)
+		}
+		a.Wait(pr)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.HostLoad("ghost") != 0 {
+		t.Error("unknown host load != 0")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BandwidthFactor <= 0 || cfg.BandwidthFactor > 1 {
+		t.Errorf("BandwidthFactor = %g", cfg.BandwidthFactor)
+	}
+	if cfg.TCPGamma <= 0 {
+		t.Errorf("TCPGamma = %g", cfg.TCPGamma)
+	}
+}
+
+func TestActionKindStrings(t *testing.T) {
+	if ActionCompute.String() != "compute" || ActionComm.String() != "comm" ||
+		ActionParallel.String() != "parallel" || ActionKind(9).String() != "unknown" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	e := core.New()
+	pf := testPlatform(t)
+	m := New(e, pf, exactCfg())
+	if m.Engine() != e || m.Platform() != pf {
+		t.Error("accessors wrong")
+	}
+	if m.Config().BandwidthFactor != 1 {
+		t.Error("config not stored")
+	}
+	if err := m.FailHost("ghost"); err == nil {
+		t.Error("FailHost(ghost) accepted")
+	}
+	if err := m.RestoreHost("ghost"); err == nil {
+		t.Error("RestoreHost(ghost) accepted")
+	}
+	if err := m.FailLink("ghost"); err == nil {
+		t.Error("FailLink(ghost) accepted")
+	}
+	if err := m.RestoreLink("ghost"); err == nil {
+		t.Error("RestoreLink(ghost) accepted")
+	}
+}
+
+func TestWaitAfterCompletion(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	e.Spawn("p", nil, func(pr *core.Process) {
+		a, _ := m.Execute("h1", 1e6, 1)
+		pr.Sleep(1) // action completes during the sleep
+		if err := a.Wait(pr); err != nil {
+			t.Errorf("Wait after completion: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDoubleWaiterRejected(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var act *Action
+	e.Spawn("p1", nil, func(pr *core.Process) {
+		act, _ = m.Execute("h1", 1e9, 1)
+		act.Wait(pr)
+	})
+	e.Spawn("p2", nil, func(pr *core.Process) {
+		pr.Yield() // let p1 attach first
+		if err := act.Wait(pr); err == nil {
+			t.Error("second waiter accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

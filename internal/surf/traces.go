@@ -1,0 +1,43 @@
+// Trace-driven dynamics: availability traces rescale resource capacity
+// over time (external load), state traces toggle resources off and on
+// (transient failures). Each trace event is armed as an engine timer
+// which, when it fires, applies the change and arms the next event —
+// so periodic traces unroll lazily and cost nothing until reached.
+
+package surf
+
+import (
+	"repro/internal/trace"
+)
+
+// scheduleTraces arms the availability and state traces of a resource.
+func (m *Model) scheduleTraces(r *resource, avail, state *trace.Trace) {
+	if avail != nil && avail.Len() > 0 {
+		m.armAvail(r, avail.Iter(m.eng.Now()))
+	}
+	if state != nil && state.Len() > 0 {
+		m.armState(r, state.Iter(m.eng.Now()))
+	}
+}
+
+func (m *Model) armAvail(r *resource, it *trace.Iterator) {
+	ts, v, ok := it.Next()
+	if !ok {
+		return
+	}
+	m.eng.At(ts, func() {
+		m.setResourceAvail(r, v)
+		m.armAvail(r, it)
+	})
+}
+
+func (m *Model) armState(r *resource, it *trace.Iterator) {
+	ts, v, ok := it.Next()
+	if !ok {
+		return
+	}
+	m.eng.At(ts, func() {
+		m.setResourceState(r, v > 0.5)
+		m.armState(r, it)
+	})
+}

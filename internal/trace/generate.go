@@ -1,0 +1,145 @@
+// Synthetic trace generation, for studying applications on volatile
+// platforms (the paper's "peer-to-peer file-sharing application running
+// on volatile Internet hosts") when no measured traces are at hand:
+// random-walk availability traces and exponential up/down state traces.
+
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AvailabilityConfig parameterizes a random-walk availability trace.
+type AvailabilityConfig struct {
+	// Steps is the number of trace points.
+	Steps int
+	// Interval is the time between points, in seconds.
+	Interval float64
+	// Mean is the long-run availability level in (0, 1].
+	Mean float64
+	// Volatility is the step standard deviation of the walk.
+	Volatility float64
+	// Floor clamps availability from below (a loaded host still makes
+	// some progress); values are clamped to [Floor, 1].
+	Floor float64
+	Seed  int64
+}
+
+// GenerateAvailability builds a periodic random-walk availability
+// trace: each point nudges the previous one by a Gaussian step with a
+// pull back towards the configured mean (an Ornstein–Uhlenbeck walk),
+// clamped to [Floor, 1].
+func GenerateAvailability(name string, cfg AvailabilityConfig) (*Trace, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("trace: availability needs steps")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("trace: availability needs a positive interval")
+	}
+	if cfg.Mean <= 0 || cfg.Mean > 1 {
+		return nil, fmt.Errorf("trace: mean availability %g out of (0,1]", cfg.Mean)
+	}
+	if cfg.Floor < 0 || cfg.Floor > cfg.Mean {
+		return nil, fmt.Errorf("trace: floor %g out of [0, mean]", cfg.Floor)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	events := make([]Event, cfg.Steps)
+	v := cfg.Mean
+	const pull = 0.3 // mean-reversion strength per step
+	for i := 0; i < cfg.Steps; i++ {
+		events[i] = Event{Time: float64(i) * cfg.Interval, Value: v}
+		v += pull*(cfg.Mean-v) + rng.NormFloat64()*cfg.Volatility
+		v = math.Min(1, math.Max(cfg.Floor, v))
+	}
+	period := float64(cfg.Steps) * cfg.Interval
+	return New(name, events, period)
+}
+
+// StateConfig parameterizes an up/down failure trace.
+type StateConfig struct {
+	// MeanUp and MeanDown are the mean durations of up and down phases
+	// (exponentially distributed), in seconds.
+	MeanUp, MeanDown float64
+	// Horizon is the trace length; the trace repeats with this period.
+	Horizon float64
+	Seed    int64
+}
+
+// GenerateState builds a periodic state (failure) trace alternating up
+// (1) and down (0) phases with exponential durations — the classic
+// Poisson failure/repair process used for volatile Internet hosts.
+func GenerateState(name string, cfg StateConfig) (*Trace, error) {
+	if cfg.MeanUp <= 0 || cfg.MeanDown <= 0 {
+		return nil, fmt.Errorf("trace: state needs positive mean durations")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("trace: state needs a positive horizon")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []Event
+	t, up := 0.0, true
+	events = append(events, Event{Time: 0, Value: 1})
+	for {
+		mean := cfg.MeanUp
+		if !up {
+			mean = cfg.MeanDown
+		}
+		t += rng.ExpFloat64() * mean
+		if t >= cfg.Horizon {
+			break
+		}
+		up = !up
+		v := 0.0
+		if up {
+			v = 1
+		}
+		events = append(events, Event{Time: t, Value: v})
+	}
+	// Guarantee the host is up when the trace wraps around, so a
+	// periodic repetition never glues two down phases together.
+	if len(events) > 0 && events[len(events)-1].Value == 0 {
+		last := events[len(events)-1].Time
+		wake := last + (cfg.Horizon-last)/2
+		events = append(events, Event{Time: wake, Value: 1})
+	}
+	return New(name, events, cfg.Horizon)
+}
+
+// MeanValue returns the time-weighted mean of the trace over one period
+// (or over the events' span for non-periodic traces) — handy to check
+// generated traces against their configured mean.
+func (t *Trace) MeanValue() float64 {
+	if t == nil || len(t.events) == 0 {
+		return 1
+	}
+	end := t.period
+	if end == 0 {
+		end = t.events[len(t.events)-1].Time
+		if end == 0 {
+			return t.events[0].Value
+		}
+	}
+	sum := 0.0
+	covered := 0.0
+	for i, e := range t.events {
+		next := end
+		if i+1 < len(t.events) {
+			next = t.events[i+1].Time
+		}
+		if next > e.Time {
+			sum += e.Value * (next - e.Time)
+			covered += next - e.Time
+		}
+	}
+	// Time before the first event has value 1.
+	if first := t.events[0].Time; first > 0 {
+		sum += first
+		covered += first
+	}
+	if covered == 0 {
+		return t.events[0].Value
+	}
+	return sum / covered
+}

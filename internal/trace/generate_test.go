@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateAvailabilityBasics(t *testing.T) {
+	tr, err := GenerateAvailability("av", AvailabilityConfig{
+		Steps: 100, Interval: 5, Mean: 0.7, Volatility: 0.1, Floor: 0.1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("GenerateAvailability: %v", err)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if !tr.Periodic() || tr.Period() != 500 {
+		t.Errorf("period = %g, want 500", tr.Period())
+	}
+	for _, e := range tr.Events() {
+		if e.Value < 0.1-1e-12 || e.Value > 1+1e-12 {
+			t.Errorf("value %g out of [0.1, 1]", e.Value)
+		}
+	}
+}
+
+func TestGenerateAvailabilityMeanReversion(t *testing.T) {
+	tr, err := GenerateAvailability("av", AvailabilityConfig{
+		Steps: 2000, Interval: 1, Mean: 0.6, Volatility: 0.05, Floor: 0, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := tr.MeanValue(); math.Abs(m-0.6) > 0.1 {
+		t.Errorf("mean value %g, want ~0.6", m)
+	}
+}
+
+func TestGenerateAvailabilityDeterministic(t *testing.T) {
+	cfg := AvailabilityConfig{Steps: 50, Interval: 2, Mean: 0.8, Volatility: 0.2, Seed: 3}
+	a, _ := GenerateAvailability("a", cfg)
+	b, _ := GenerateAvailability("b", cfg)
+	ea, eb := a.Events(), b.Events()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateAvailabilityValidation(t *testing.T) {
+	bad := []AvailabilityConfig{
+		{Steps: 0, Interval: 1, Mean: 0.5},
+		{Steps: 10, Interval: 0, Mean: 0.5},
+		{Steps: 10, Interval: 1, Mean: 0},
+		{Steps: 10, Interval: 1, Mean: 1.5},
+		{Steps: 10, Interval: 1, Mean: 0.5, Floor: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateAvailability("x", cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateStateAlternates(t *testing.T) {
+	tr, err := GenerateState("st", StateConfig{
+		MeanUp: 50, MeanDown: 10, Horizon: 1000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("GenerateState: %v", err)
+	}
+	ev := tr.Events()
+	if len(ev) < 2 {
+		t.Fatalf("only %d events", len(ev))
+	}
+	if ev[0].Value != 1 || ev[0].Time != 0 {
+		t.Errorf("trace must start up at t=0: %+v", ev[0])
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Value == ev[i-1].Value {
+			t.Errorf("events %d and %d do not alternate", i-1, i)
+		}
+	}
+	if ev[len(ev)-1].Value != 1 {
+		t.Error("trace must end up so periodic wrap keeps the host up")
+	}
+	if !tr.Periodic() || tr.Period() != 1000 {
+		t.Errorf("period = %g", tr.Period())
+	}
+}
+
+func TestGenerateStateUptimeFraction(t *testing.T) {
+	tr, err := GenerateState("st", StateConfig{
+		MeanUp: 90, MeanDown: 10, Horizon: 20000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected uptime ~ 90/(90+10) = 0.9.
+	if m := tr.MeanValue(); math.Abs(m-0.9) > 0.07 {
+		t.Errorf("uptime fraction %g, want ~0.9", m)
+	}
+}
+
+func TestGenerateStateValidation(t *testing.T) {
+	bad := []StateConfig{
+		{MeanUp: 0, MeanDown: 1, Horizon: 10},
+		{MeanUp: 1, MeanDown: 0, Horizon: 10},
+		{MeanUp: 1, MeanDown: 1, Horizon: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateState("x", cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMeanValueEdgeCases(t *testing.T) {
+	var nilTrace *Trace
+	if nilTrace.MeanValue() != 1 {
+		t.Error("nil trace mean != 1")
+	}
+	single := MustNew("s", []Event{{0, 0.5}}, 0)
+	if single.MeanValue() != 0.5 {
+		t.Errorf("single-event mean = %g", single.MeanValue())
+	}
+	// Before the first event the value is 1; event at t=10 sets 0.
+	half := MustNew("h", []Event{{10, 0}}, 20)
+	if m := half.MeanValue(); math.Abs(m-0.5) > 1e-9 {
+		t.Errorf("half mean = %g, want 0.5", m)
+	}
+}

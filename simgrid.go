@@ -1,0 +1,86 @@
+// Package simgrid is a from-scratch Go reproduction of the SimGrid
+// project as described in "The SimGrid Project: Simulation and
+// Deployment of Distributed Applications" (Legrand, Quinson, Casanova,
+// Fujiwara — HPDC 2006): a discrete-event simulator for distributed
+// applications built on a MaxMin-fairness fluid resource model (SURF),
+// with three user-facing APIs — MSG for rapid prototyping, GRAS for
+// applications that run both simulated and on real networks, and SMPI
+// for simulating MPI programs on heterogeneous platforms — plus the
+// substrates its evaluation depends on (a Waxman/BRITE topology
+// generator and a packet-level TCP comparator).
+//
+// This root package is a façade re-exporting the main entry points;
+// the implementation lives under internal/ (see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured
+// record). The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
+package simgrid
+
+import (
+	"repro/internal/gras"
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/smpi"
+	"repro/internal/surf"
+)
+
+// Re-exported platform types.
+type (
+	// Platform describes simulated hardware: hosts, links, routes.
+	Platform = platform.Platform
+	// Host is a computing resource.
+	Host = platform.Host
+	// Link is a network resource.
+	Link = platform.Link
+	// SurfConfig tunes the fluid network model.
+	SurfConfig = surf.Config
+)
+
+// Re-exported API surfaces.
+type (
+	// MSGEnvironment is the MSG world (prototyping API).
+	MSGEnvironment = msg.Environment
+	// MSGProcess is a simulated MSG process.
+	MSGProcess = msg.Process
+	// MSGTask is a task with compute and communication payloads.
+	MSGTask = msg.Task
+	// GRASWorld is the GRAS simulation universe.
+	GRASWorld = gras.World
+	// GRASNode is the API GRAS application code is written against.
+	GRASNode = gras.Node
+	// SMPIWorld is one simulated MPI job.
+	SMPIWorld = smpi.World
+	// SMPIRank is one MPI rank.
+	SMPIRank = smpi.Rank
+)
+
+// NewPlatform returns an empty platform description.
+func NewPlatform() *Platform { return platform.New() }
+
+// GenerateWaxman builds a BRITE-like random topology.
+func GenerateWaxman(nodes int, seed int64) (*Platform, error) {
+	return platform.GenerateWaxman(platform.DefaultWaxmanConfig(nodes, seed))
+}
+
+// DefaultConfig returns the calibrated fluid-model configuration.
+func DefaultConfig() SurfConfig { return surf.DefaultConfig() }
+
+// NewMSG builds an MSG environment on a platform (MSG_global_init).
+func NewMSG(pf *Platform, cfg SurfConfig) *MSGEnvironment {
+	return msg.NewEnvironment(pf, cfg)
+}
+
+// NewMSGTask builds a task (MSG_task_create).
+func NewMSGTask(name string, flops, bytes float64) *MSGTask {
+	return msg.NewTask(name, flops, bytes)
+}
+
+// NewGRAS builds a GRAS simulation world.
+func NewGRAS(pf *Platform, cfg SurfConfig) *GRASWorld {
+	return gras.NewWorld(pf, cfg)
+}
+
+// NewSMPI builds an MPI job with one rank per host name.
+func NewSMPI(pf *Platform, cfg SurfConfig, hosts []string) (*SMPIWorld, error) {
+	return smpi.New(pf, cfg, hosts)
+}

@@ -1,0 +1,153 @@
+package simgrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gras"
+	"repro/internal/smpi"
+)
+
+// The paper's full MSG example through the public façade.
+func TestFacadeMSGClientServer(t *testing.T) {
+	pf := NewPlatform()
+	if err := pf.AddHost(&Host{Name: "client_host", Power: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.AddHost(&Host{Name: "server_host", Power: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.AddRoute("client_host", "server_host", []*Link{
+		{Name: "lan", Bandwidth: 1.25e7, Latency: 1e-4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	env := NewMSG(pf, DefaultConfig())
+	if _, err := env.NewProcess("server", "server_host", func(p *MSGProcess) error {
+		p.Daemonize()
+		for {
+			task, err := p.Get(22)
+			if err != nil {
+				return err
+			}
+			if err := p.Execute(task); err != nil {
+				return err
+			}
+			if err := p.Put(NewMSGTask("Ack", 0, 1e4), task.Source().Name, 23); err != nil {
+				return err
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var done float64
+	if _, err := env.NewProcess("client", "client_host", func(p *MSGProcess) error {
+		if err := p.Put(NewMSGTask("Remote", 30e6, 3.2e6), "server_host", 22); err != nil {
+			return err
+		}
+		if err := p.Execute(NewMSGTask("Local", 10.5e6, 3.2e6)); err != nil {
+			return err
+		}
+		if _, err := p.Get(23); err != nil {
+			return err
+		}
+		done = p.Now()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done <= 0 {
+		t.Error("client never finished")
+	}
+}
+
+func TestFacadeWaxmanAndSMPI(t *testing.T) {
+	pf, err := GenerateWaxman(6, 1)
+	if err != nil {
+		t.Fatalf("GenerateWaxman: %v", err)
+	}
+	hosts := []string{"host0", "host1", "host2", "host3"}
+	w, err := NewSMPI(pf, DefaultConfig(), hosts)
+	if err != nil {
+		t.Fatalf("NewSMPI: %v", err)
+	}
+	sums := make([]float64, 4)
+	if err := w.Run(func(r *SMPIRank) error {
+		v, err := r.Allreduce(float64(r.Rank()+1), smpi.OpSum, 1e3)
+		sums[r.Rank()] = v
+		return err
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, s := range sums {
+		if s != 10 {
+			t.Errorf("rank %d sum = %g, want 10", i, s)
+		}
+	}
+}
+
+func TestFacadeGRAS(t *testing.T) {
+	pf := NewPlatform()
+	for _, n := range []string{"a", "b"} {
+		if err := pf.AddHost(&Host{Name: n, Power: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pf.AddRoute("a", "b", []*Link{
+		{Name: "l", Bandwidth: 1.25e7, Latency: 1e-4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewGRAS(pf, DefaultConfig())
+	if err := w.Launch("server", "b", func(n GRASNode) error {
+		n.Registry().Declare("msg", float64(0))
+		if err := n.Listen(80); err != nil {
+			return err
+		}
+		m, err := n.Recv("msg", 60)
+		if err != nil {
+			return err
+		}
+		if math.Abs(m.Payload.(float64)-3.25) > 1e-12 {
+			t.Errorf("payload = %v", m.Payload)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Launch("client", "a", func(n GRASNode) error {
+		n.Registry().Declare("msg", float64(0))
+		n.Sleep(0.01)
+		s, err := n.Client("b", 80)
+		if err != nil {
+			return err
+		}
+		return n.Send(s, "msg", 3.25)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.NodeError("server"); err != nil {
+		t.Errorf("server: %v", err)
+	}
+}
+
+// Guard the façade against drift: the aliases must keep pointing at the
+// implementing packages.
+func TestFacadeAliases(t *testing.T) {
+	var _ *gras.World = NewGRAS(NewPlatform(), DefaultConfig())
+	cfg := DefaultConfig()
+	if cfg.BandwidthFactor <= 0 || cfg.TCPGamma <= 0 {
+		t.Error("DefaultConfig not calibrated")
+	}
+	task := NewMSGTask("x", 1, 2)
+	if task.Flops != 1 || task.Bytes != 2 {
+		t.Error("task constructor wrong")
+	}
+}
