@@ -181,6 +181,146 @@ func BenchmarkFigMaxMin(b *testing.B) {
 			s.Solve()
 		}
 	})
+	// Scaling suite: sparse-churn workloads where only a handful of
+	// flows mutate per simulation step, the regime the incremental
+	// ("selective update") solver targets. `incremental` re-solves only
+	// the dirty connected components; `full-recompute` forces the
+	// from-scratch progressive filling the seed solver performed on
+	// every step (the two produce identical allocations — see
+	// TestIncrementalEquivalenceProperty and -tags=maxmincheck).
+	for _, n := range []int{100, 1000, 10000} {
+		for _, full := range []bool{false, true} {
+			mode := "incremental"
+			if full {
+				mode = "full-recompute"
+			}
+			b.Run(fmt.Sprintf("churn-flows-%d/%s", n, mode), func(b *testing.B) {
+				benchMaxMinFlowChurn(b, n, full)
+			})
+			b.Run(fmt.Sprintf("churn-compute-%d/%s", n, mode), func(b *testing.B) {
+				benchMaxMinComputeChurn(b, n, full)
+			})
+		}
+	}
+}
+
+// maxminFlowChurn is a MaxMin-level model of a federated grid: flows
+// routed over independent Waxman islands (16 routers + 16 hosts each),
+// so churn in one island never disturbs the components of the others.
+type maxminFlowChurn struct {
+	sys    *maxmin.System
+	routes [][]*maxmin.Constraint // precomputed candidate routes
+	flows  []*maxmin.Variable     // live flow ring
+	next   int                    // next candidate route to use
+}
+
+func (cb *maxminFlowChurn) newFlow() *maxmin.Variable {
+	r := cb.routes[cb.next%len(cb.routes)]
+	cb.next++
+	v := cb.sys.NewVariable(1, 0)
+	for _, c := range r {
+		cb.sys.Expand(c, v, 1)
+	}
+	return v
+}
+
+// newMaxMinFlowChurn builds the island federation with nFlows live
+// flows, their link constraints, and a pool of precomputed routes so
+// the benchmark loop measures solver work only.
+func newMaxMinFlowChurn(b *testing.B, nFlows int) *maxminFlowChurn {
+	b.Helper()
+	const islandSize = 16
+	nIslands := (nFlows-1)/50 + 1
+	cb := &maxminFlowChurn{sys: maxmin.NewSystem()}
+	for isl := 0; isl < nIslands; isl++ {
+		pf, err := platform.GenerateWaxman(platform.DefaultWaxmanConfig(islandSize, int64(1000+isl)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cnst := make(map[*platform.Link]*maxmin.Constraint)
+		for _, l := range pf.Links() {
+			cnst[l] = cb.sys.NewConstraint(l.Bandwidth)
+		}
+		// Deterministic intra-island host pairs.
+		for k := 0; k < 2*nFlows/nIslands+2; k++ {
+			src := fmt.Sprintf("host%d", (k*5+isl)%islandSize)
+			dst := fmt.Sprintf("host%d", (k*11+7)%islandSize)
+			if src == dst {
+				continue
+			}
+			route, err := pf.Route(src, dst)
+			if err != nil || len(route.Links) == 0 {
+				continue
+			}
+			cs := make([]*maxmin.Constraint, len(route.Links))
+			for i, l := range route.Links {
+				cs[i] = cnst[l]
+			}
+			cb.routes = append(cb.routes, cs)
+		}
+	}
+	if len(cb.routes) == 0 {
+		b.Fatal("flow churn setup produced no usable routes")
+	}
+	for i := 0; i < nFlows; i++ {
+		cb.flows = append(cb.flows, cb.newFlow())
+	}
+	return cb
+}
+
+// benchMaxMinFlowChurn measures one sparse churn step per iteration:
+// 10 flows finish, 10 new ones start, the system re-solves.
+func benchMaxMinFlowChurn(b *testing.B, nFlows int, fullRecompute bool) {
+	cb := newMaxMinFlowChurn(b, nFlows)
+	cb.sys.Solve()
+	const churn = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < churn; k++ {
+			idx := (i*churn + k) % len(cb.flows)
+			cb.sys.RemoveVariable(cb.flows[idx])
+			cb.flows[idx] = cb.newFlow()
+		}
+		if fullRecompute {
+			cb.sys.InvalidateAll()
+		}
+		cb.sys.Solve()
+	}
+}
+
+// benchMaxMinComputeChurn mirrors BenchmarkKernelProcessChurn at the
+// solver level: nHosts CPUs each running a few tasks, with a handful of
+// tasks finishing and spawning per step (every host is its own
+// connected component).
+func benchMaxMinComputeChurn(b *testing.B, nHosts int, fullRecompute bool) {
+	sys := maxmin.NewSystem()
+	cpus := make([]*maxmin.Constraint, nHosts)
+	for i := range cpus {
+		cpus[i] = sys.NewConstraint(1e9)
+	}
+	var tasks []*maxmin.Variable
+	spawn := func(host int) *maxmin.Variable {
+		v := sys.NewVariable(1+float64(host%3), 0)
+		sys.Expand(cpus[host], v, 1)
+		return v
+	}
+	for i := 0; i < 3*nHosts; i++ {
+		tasks = append(tasks, spawn(i%nHosts))
+	}
+	sys.Solve()
+	const churn = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < churn; k++ {
+			idx := (i*churn + k) % len(tasks)
+			sys.RemoveVariable(tasks[idx])
+			tasks[idx] = spawn((i + k*31) % nHosts)
+		}
+		if fullRecompute {
+			sys.InvalidateAll()
+		}
+		sys.Solve()
+	}
 }
 
 // pastryBench runs the E5/E6 table cells as sub-benchmarks, reporting

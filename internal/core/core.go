@@ -86,6 +86,15 @@ func (e *DeadlockError) Error() string {
 type killedSignal struct{}
 
 // Model is a resource model advancing a set of actions in virtual time.
+//
+// The engine contract: on every scheduling round, NextEventTime is
+// called on each model (after all runnable processes and due timers
+// have run) before the clock advances, and AdvanceTo follows with no
+// intervening process, timer, or model activity. Models may therefore
+// cache state computed in NextEventTime — e.g. the earliest pending
+// event — and rely on it in the immediately following AdvanceTo (surf
+// uses this for its O(1) no-event early exit). Any engine refactor
+// that decouples the two calls must revisit such caches.
 type Model interface {
 	// NextEventTime returns the earliest absolute time at which an
 	// action managed by this model completes, or +Inf if none.
@@ -501,10 +510,13 @@ func (e *Engine) Run() error {
 	defer func() { e.running = false }()
 
 	for {
-		// Phase 1: run every runnable process to its next simcall.
-		for len(e.runQ) > 0 && e.fatal == nil {
-			p := e.runQ[0]
-			e.runQ = e.runQ[1:]
+		// Phase 1: run every runnable process to its next simcall. The
+		// queue is drained in place (head index) so its backing array is
+		// reused across scheduling rounds instead of being re-sliced
+		// away and re-allocated on every wake.
+		for head := 0; head < len(e.runQ) && e.fatal == nil; head++ {
+			p := e.runQ[head]
+			e.runQ[head] = nil // release the reference for the collector
 			if p.state == Done {
 				continue
 			}
@@ -521,6 +533,7 @@ func (e *Engine) Run() error {
 			<-e.yieldCh
 			e.current = nil
 		}
+		e.runQ = e.runQ[:0]
 		if e.fatal != nil {
 			return e.fatal
 		}
@@ -589,9 +602,9 @@ func (e *Engine) shutdownDaemons() {
 			e.runQ = append(e.runQ, p)
 		}
 	}
-	for len(e.runQ) > 0 {
-		p := e.runQ[0]
-		e.runQ = e.runQ[1:]
+	for head := 0; head < len(e.runQ); head++ {
+		p := e.runQ[head]
+		e.runQ[head] = nil
 		if p.state == Done {
 			continue
 		}
@@ -601,4 +614,5 @@ func (e *Engine) shutdownDaemons() {
 		<-e.yieldCh
 		e.current = nil
 	}
+	e.runQ = e.runQ[:0]
 }

@@ -1,0 +1,7 @@
+//go:build !maxmincheck
+
+package maxmin
+
+// shadowCheck enables the full-solve cross-check after every
+// incremental Solve. Build with -tags=maxmincheck to turn it on.
+const shadowCheck = false

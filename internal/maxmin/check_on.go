@@ -1,0 +1,7 @@
+//go:build maxmincheck
+
+package maxmin
+
+// shadowCheck enables the full-solve cross-check after every
+// incremental Solve (see crossCheck). Built with -tags=maxmincheck.
+const shadowCheck = true

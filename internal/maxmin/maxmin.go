@@ -14,6 +14,21 @@
 // grow all variables' shares together until either a variable hits its
 // bound (it is then frozen) or a constraint saturates (all its variables
 // are then frozen), remove frozen usage, and repeat on the remainder.
+//
+// The solver is incremental (SimGrid's "selective update" / lazy lmm
+// optimization): every mutation (Expand, SetWeight, SetBound,
+// SetCapacity, Remove*, ...) marks only the touched variables and
+// constraints dirty, and Solve re-runs progressive filling only on the
+// connected components of the variable/constraint bipartite graph that
+// contain a dirty element. Allocations in untouched components are
+// carried over unchanged — max-min fairness decomposes exactly per
+// component, so the combined solution is identical to a full solve.
+// Solve reports the variables whose allocation actually changed via
+// Updated, letting callers refresh only the affected activities.
+//
+// All per-solve bookkeeping (weighted loads, the active set, the
+// component worklist) lives in scratch slices reused across solves, so
+// a steady-state re-solve performs no heap allocation.
 package maxmin
 
 import (
@@ -27,6 +42,7 @@ import (
 // with System.NewVariable and attach them to constraints with Expand.
 type Variable struct {
 	id     int
+	idx    int     // position in sys.vars, maintained under index-swap removal
 	weight float64 // sharing weight (a.k.a. priority); 0 disables the variable
 	bound  float64 // upper bound on Value; <= 0 means unbounded
 	value  float64 // the solution, valid after Solve
@@ -38,18 +54,25 @@ type Variable struct {
 
 	sys   *System
 	fixed bool
+	dirty bool   // queued in sys.dirtyVars
+	visit uint64 // component-walk generation mark
 }
 
 // elem ties a variable to a constraint with a consumption multiplier.
+// Its positions in both adjacency lists are tracked so detaching is
+// O(1) per edge.
 type elem struct {
 	v      *Variable
 	c      *Constraint
 	factor float64 // capacity consumed per unit of variable value
+	vIdx   int     // position in v.cnsts
+	cIdx   int     // position in c.elems
 }
 
 // Constraint is one capacity-limited resource.
 type Constraint struct {
 	id       int
+	idx      int // position in sys.cnsts, maintained under index-swap removal
 	capacity float64
 	elems    []*elem
 
@@ -65,6 +88,8 @@ type Constraint struct {
 	sys    *System
 	remCap float64 // scratch for Solve
 	usage  float64 // post-solve total load
+	dirty  bool    // queued in sys.dirtyCnsts
+	visit  uint64  // component-walk generation mark
 }
 
 // System holds variables and constraints and solves the allocation.
@@ -74,11 +99,41 @@ type System struct {
 	cnsts   []*Constraint
 	nextVID int
 	nextCID int
-	dirty   bool
+
+	// Dirty tracking: mutated elements since the last Solve. allDirty
+	// forces the next Solve to recompute every component from scratch.
+	dirtyVars  []*Variable
+	dirtyCnsts []*Constraint
+	allDirty   bool
+
+	visitGen uint64 // current component-walk generation
+
+	// Scratch storage reused across solves (no steady-state allocation).
+	loads      []float64 // weighted load per constraint, indexed by Constraint.idx
+	solveVars  []*Variable
+	solveCnsts []*Constraint
+	active     []*Variable
+	oldVals    []float64 // pre-solve values of solveVars, for Updated
+	updated    []*Variable
+	queue      []*Constraint // component-walk worklist
 }
 
 // NewSystem returns an empty linear MaxMin system.
 func NewSystem() *System { return &System{} }
+
+func (s *System) touchVar(v *Variable) {
+	if !v.dirty {
+		v.dirty = true
+		s.dirtyVars = append(s.dirtyVars, v)
+	}
+}
+
+func (s *System) touchCnst(c *Constraint) {
+	if !c.dirty {
+		c.dirty = true
+		s.dirtyCnsts = append(s.dirtyCnsts, c)
+	}
+}
 
 // NewConstraint adds a resource with the given capacity.
 // Capacity must be non-negative; a zero-capacity constraint forces all
@@ -87,10 +142,10 @@ func (s *System) NewConstraint(capacity float64) *Constraint {
 	if capacity < 0 {
 		capacity = 0
 	}
-	c := &Constraint{id: s.nextCID, capacity: capacity, shared: true, sys: s}
+	c := &Constraint{id: s.nextCID, idx: len(s.cnsts), capacity: capacity, shared: true, sys: s}
 	s.nextCID++
 	s.cnsts = append(s.cnsts, c)
-	s.dirty = true
+	s.touchCnst(c)
 	return c
 }
 
@@ -99,10 +154,10 @@ func (s *System) NewConstraint(capacity float64) *Constraint {
 // inactive: it receives value 0 and consumes nothing (used for
 // suspended activities).
 func (s *System) NewVariable(weight, bound float64) *Variable {
-	v := &Variable{id: s.nextVID, weight: weight, bound: bound, sys: s}
+	v := &Variable{id: s.nextVID, idx: len(s.vars), weight: weight, bound: bound, sys: s}
 	s.nextVID++
 	s.vars = append(s.vars, v)
-	s.dirty = true
+	s.touchVar(v)
 	return v
 }
 
@@ -113,62 +168,86 @@ func (s *System) Expand(c *Constraint, v *Variable, factor float64) {
 	if factor <= 0 {
 		return
 	}
+	s.touchVar(v)
+	s.touchCnst(c)
 	for _, e := range v.cnsts {
 		if e.c == c {
 			e.factor += factor
-			s.dirty = true
 			return
 		}
 	}
-	e := &elem{v: v, c: c, factor: factor}
+	e := &elem{v: v, c: c, factor: factor, vIdx: len(v.cnsts), cIdx: len(c.elems)}
 	v.cnsts = append(v.cnsts, e)
 	c.elems = append(c.elems, e)
-	s.dirty = true
+}
+
+// detachFromConstraint unlinks e from e.c.elems in O(1) by index swap.
+func detachFromConstraint(e *elem) {
+	c := e.c
+	last := len(c.elems) - 1
+	moved := c.elems[last]
+	c.elems[e.cIdx] = moved
+	moved.cIdx = e.cIdx
+	c.elems[last] = nil
+	c.elems = c.elems[:last]
+}
+
+// detachFromVariable unlinks e from e.v.cnsts in O(1) by index swap.
+func detachFromVariable(e *elem) {
+	v := e.v
+	last := len(v.cnsts) - 1
+	moved := v.cnsts[last]
+	v.cnsts[e.vIdx] = moved
+	moved.vIdx = e.vIdx
+	v.cnsts[last] = nil
+	v.cnsts = v.cnsts[:last]
 }
 
 // RemoveVariable detaches v from all its constraints and drops it from
-// the system. v must not be used afterwards.
+// the system in O(degree). v must not be used afterwards.
 func (s *System) RemoveVariable(v *Variable) {
+	if v.sys != s {
+		return
+	}
 	for _, e := range v.cnsts {
-		c := e.c
-		for i, ce := range c.elems {
-			if ce == e {
-				c.elems = append(c.elems[:i], c.elems[i+1:]...)
-				break
-			}
-		}
+		s.touchCnst(e.c)
+		detachFromConstraint(e)
 	}
 	v.cnsts = nil
-	for i, sv := range s.vars {
-		if sv == v {
-			s.vars = append(s.vars[:i], s.vars[i+1:]...)
-			break
-		}
-	}
+	last := len(s.vars) - 1
+	moved := s.vars[last]
+	s.vars[v.idx] = moved
+	moved.idx = v.idx
+	s.vars[last] = nil
+	s.vars = s.vars[:last]
 	v.sys = nil
-	s.dirty = true
+	if len(s.vars) == 0 && len(s.cnsts) == 0 {
+		// Nothing left to solve, but the books must still close.
+		s.allDirty = true
+	}
 }
 
-// RemoveConstraint drops c (and detaches it from all variables).
+// RemoveConstraint drops c (and detaches it from all variables) in
+// O(degree).
 func (s *System) RemoveConstraint(c *Constraint) {
+	if c.sys != s {
+		return
+	}
 	for _, e := range c.elems {
-		v := e.v
-		for i, ve := range v.cnsts {
-			if ve == e {
-				v.cnsts = append(v.cnsts[:i], v.cnsts[i+1:]...)
-				break
-			}
-		}
+		s.touchVar(e.v)
+		detachFromVariable(e)
 	}
 	c.elems = nil
-	for i, sc := range s.cnsts {
-		if sc == c {
-			s.cnsts = append(s.cnsts[:i], s.cnsts[i+1:]...)
-			break
-		}
-	}
+	last := len(s.cnsts) - 1
+	moved := s.cnsts[last]
+	s.cnsts[c.idx] = moved
+	moved.idx = c.idx
+	s.cnsts[last] = nil
+	s.cnsts = s.cnsts[:last]
 	c.sys = nil
-	s.dirty = true
+	if len(s.vars) == 0 && len(s.cnsts) == 0 {
+		s.allDirty = true
+	}
 }
 
 // SetCapacity updates a resource capacity (trace events, failures).
@@ -178,7 +257,7 @@ func (s *System) SetCapacity(c *Constraint, capacity float64) {
 	}
 	if c.capacity != capacity {
 		c.capacity = capacity
-		s.dirty = true
+		s.touchCnst(c)
 	}
 }
 
@@ -186,7 +265,7 @@ func (s *System) SetCapacity(c *Constraint, capacity float64) {
 func (s *System) SetWeight(v *Variable, weight float64) {
 	if v.weight != weight {
 		v.weight = weight
-		s.dirty = true
+		s.touchVar(v)
 	}
 }
 
@@ -194,7 +273,7 @@ func (s *System) SetWeight(v *Variable, weight float64) {
 func (s *System) SetBound(v *Variable, bound float64) {
 	if v.bound != bound {
 		v.bound = bound
-		s.dirty = true
+		s.touchVar(v)
 	}
 }
 
@@ -204,9 +283,15 @@ func (s *System) SetBound(v *Variable, bound float64) {
 func (s *System) SetShared(c *Constraint, shared bool) {
 	if c.shared != shared {
 		c.shared = shared
-		s.dirty = true
+		s.touchCnst(c)
 	}
 }
+
+// InvalidateAll marks the whole system dirty so the next Solve
+// recomputes every component from scratch. Used by benchmarks to
+// measure the full-recompute baseline and by tests as a reference
+// solver; incremental and full solves yield identical allocations.
+func (s *System) InvalidateAll() { s.allDirty = true }
 
 // Value returns the variable's allocation from the last Solve.
 func (v *Variable) Value() float64 { return v.value }
@@ -245,92 +330,173 @@ func (c *Constraint) Variables() []*Variable {
 }
 
 // Dirty reports whether the system changed since the last Solve.
-func (s *System) Dirty() bool { return s.dirty }
+func (s *System) Dirty() bool {
+	return s.allDirty || len(s.dirtyVars) > 0 || len(s.dirtyCnsts) > 0
+}
+
+// Updated returns the variables whose allocation changed in the last
+// Solve (including variables that joined or left a re-solved
+// component). The slice is valid until the next Solve. Variables
+// removed before that Solve never appear; removing a variable after
+// it does not retroactively drop it from the slice, so callers that
+// mutate between Solve and Updated must skip detached entries
+// themselves.
+func (s *System) Updated() []*Variable { return s.updated }
 
 // Epsilon below which capacities/weights are treated as zero.
 const eps = 1e-12
 
 // Solve computes the max-min fair allocation by progressive filling and
-// stores the result in each variable (read it with Value).
+// stores the result in each variable (read it with Value). Only the
+// connected components containing a mutated variable or constraint are
+// recomputed; allocations elsewhere are carried over. When nothing
+// changed since the last Solve, it returns immediately.
 //
 // The algorithm maintains a "share" ratio r grown uniformly for all
 // active variables (a variable's tentative value is r×weight). At each
 // step it finds the smallest event among (a) a constraint saturating and
 // (b) a variable reaching its bound, freezes the corresponding
 // variables, subtracts their consumption, and iterates. Complexity is
-// O((V+E)·min(V,C)) which is ample for simulation workloads where the
-// system is re-solved only when the action set changes.
+// O((V+E)·rounds) over the re-solved components only.
 func (s *System) Solve() {
-	// Reset scratch state.
-	active := 0
-	for _, v := range s.vars {
-		v.fixed = false
+	if !s.Dirty() {
+		s.updated = s.updated[:0] // nothing changed
+		return
+	}
+	s.solve()
+	if shadowCheck {
+		s.crossCheck()
+	}
+}
+
+// collectScope fills s.solveVars/s.solveCnsts with the members of every
+// connected component containing a dirty element (or the whole system
+// when allDirty), clearing the dirty queues.
+func (s *System) collectScope() {
+	sv := s.solveVars[:0]
+	sc := s.solveCnsts[:0]
+	if s.allDirty {
+		sv = append(sv, s.vars...)
+		sc = append(sc, s.cnsts...)
+	} else {
+		s.visitGen++
+		g := s.visitGen
+		queue := s.queue[:0]
+		addC := func(c *Constraint) {
+			if c.sys == s && c.visit != g {
+				c.visit = g
+				sc = append(sc, c)
+				queue = append(queue, c)
+			}
+		}
+		addV := func(v *Variable) {
+			if v.sys == s && v.visit != g {
+				v.visit = g
+				sv = append(sv, v)
+				for _, e := range v.cnsts {
+					addC(e.c)
+				}
+			}
+		}
+		for _, v := range s.dirtyVars {
+			addV(v)
+		}
+		for _, c := range s.dirtyCnsts {
+			addC(c)
+		}
+		for len(queue) > 0 {
+			c := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range c.elems {
+				addV(e.v)
+			}
+		}
+		s.queue = queue[:0]
+	}
+	for _, v := range s.dirtyVars {
+		v.dirty = false
+	}
+	for _, c := range s.dirtyCnsts {
+		c.dirty = false
+	}
+	s.dirtyVars = s.dirtyVars[:0]
+	s.dirtyCnsts = s.dirtyCnsts[:0]
+	s.allDirty = false
+	s.solveVars, s.solveCnsts = sv, sc
+}
+
+// solve re-runs progressive filling on the dirty components and records
+// which variables changed value.
+func (s *System) solve() {
+	s.collectScope()
+	sv, sc := s.solveVars, s.solveCnsts
+
+	// Size the constraint-indexed load scratch to the current system.
+	if cap(s.loads) < len(s.cnsts) {
+		s.loads = make([]float64, len(s.cnsts))
+	}
+	loads := s.loads[:cap(s.loads)]
+
+	// Remember pre-solve values to report changes.
+	oldVals := s.oldVals[:0]
+	for _, v := range sv {
+		oldVals = append(oldVals, v.value)
+	}
+	s.oldVals = oldVals
+
+	// Reset scope state; variables on a zero-capacity constraint (shared
+	// or fatpipe alike) are fixed at 0 immediately.
+	active := s.active[:0]
+	for _, v := range sv {
+		v.fixed = true
 		v.value = 0
 		if v.weight <= eps || len(v.cnsts) == 0 {
-			v.fixed = true // inactive or unconstrained-with-no-resource
-			continue
+			continue // inactive or unconstrained-with-no-resource
 		}
-		active++
-	}
-	for _, c := range s.cnsts {
-		c.remCap = c.capacity
-		c.usage = 0
-	}
-	// A variable on any zero-capacity constraint gets 0 immediately.
-	for _, v := range s.vars {
-		if v.fixed {
-			continue
-		}
+		starved := false
 		for _, e := range v.cnsts {
-			if e.c.capacity <= eps && e.c.shared {
-				v.fixed = true
-				active--
-				break
-			}
-			if !e.c.shared && e.c.capacity <= eps {
-				v.fixed = true
-				active--
+			if e.c.capacity <= eps {
+				starved = true
 				break
 			}
 		}
+		if !starved {
+			v.fixed = false
+			active = append(active, v)
+		}
+	}
+	for _, c := range sc {
+		c.remCap = c.capacity
 	}
 
-	for active > 0 {
-		// weightedLoad[c] = sum over active vars on c of weight*factor.
-		loads := make(map[*Constraint]float64, len(s.cnsts))
-		for _, v := range s.vars {
-			if v.fixed {
-				continue
-			}
+	for len(active) > 0 {
+		// loads[c.idx] = sum over active vars on c of weight*factor.
+		for _, c := range sc {
+			loads[c.idx] = 0
+		}
+		for _, v := range active {
 			for _, e := range v.cnsts {
-				loads[e.c] += v.weight * e.factor
+				loads[e.c.idx] += v.weight * e.factor
 			}
 		}
 
 		// Candidate growth limit from constraints: r such that
 		// r * weightedLoad == remCap (shared) or per-variable for fatpipes.
 		minR := math.Inf(1)
-		for c, wl := range loads {
-			if wl <= eps {
-				continue
-			}
-			var r float64
-			if c.shared {
-				r = c.remCap / wl
-			} else {
+		for _, c := range sc {
+			if !c.shared {
 				// Fatpipe: each variable independently limited by
 				// capacity/(weight*factor); handled below per variable.
 				continue
 			}
-			if r < minR {
-				minR = r
+			if wl := loads[c.idx]; wl > eps {
+				if r := c.remCap / wl; r < minR {
+					minR = r
+				}
 			}
 		}
 		// Candidate growth limit from variable bounds and fatpipes.
-		for _, v := range s.vars {
-			if v.fixed {
-				continue
-			}
+		for _, v := range active {
 			if v.bound > 0 {
 				if r := v.bound / v.weight; r < minR {
 					minR = r
@@ -349,31 +515,29 @@ func (s *System) Solve() {
 			// only happens when every active variable sits on fatpipe
 			// constraints with infinite capacity; clamp to bound-less
 			// infinity is meaningless, so freeze at +Inf guarded by eps.
-			for _, v := range s.vars {
-				if !v.fixed {
-					v.value = math.Inf(1)
-					v.fixed = true
-					active--
-				}
+			for _, v := range active {
+				v.value = math.Inf(1)
+				v.fixed = true
 			}
+			active = active[:0]
 			break
 		}
 		if minR < 0 {
 			minR = 0
 		}
 
-		// Freeze everything that saturates at r = minR.
+		// Mark everything that saturates at r = minR against the
+		// round-start remaining capacities, then apply the freezes. The
+		// two-phase sweep keeps the round order-independent and freezes
+		// every variable of a saturating constraint in one pass.
 		frozen := 0
-		for _, v := range s.vars {
-			if v.fixed {
-				continue
-			}
+		for _, v := range active {
 			val := minR * v.weight
 			atBound := v.bound > 0 && val >= v.bound-1e-9*math.Max(1, v.bound)
 			atCnst := false
 			for _, e := range v.cnsts {
 				if e.c.shared {
-					wl := loads[e.c]
+					wl := loads[e.c.idx]
 					if wl > eps && math.Abs(e.c.remCap/wl-minR) <= 1e-9*math.Max(1, minR) {
 						atCnst = true
 						break
@@ -392,53 +556,58 @@ func (s *System) Solve() {
 				v.value = val
 				v.fixed = true
 				frozen++
-				active--
-				// Subtract consumption from remaining capacities.
-				for _, e := range v.cnsts {
-					if e.c.shared {
-						e.c.remCap -= val * e.factor
-						if e.c.remCap < 0 {
-							e.c.remCap = 0
-						}
-					}
-				}
 			}
 		}
 		if frozen == 0 {
 			// Numerical stall: freeze the variable with the smallest
-			// tentative value to guarantee progress.
+			// weight to guarantee progress.
 			var worst *Variable
-			for _, v := range s.vars {
-				if !v.fixed && (worst == nil || v.weight < worst.weight) {
+			for _, v := range active {
+				if worst == nil || v.weight < worst.weight {
 					worst = v
 				}
 			}
-			if worst == nil {
-				break
-			}
 			worst.value = minR * worst.weight
 			worst.fixed = true
-			active--
-			for _, e := range worst.cnsts {
+		}
+		// Subtract frozen consumption and compact the active set.
+		n := 0
+		for _, v := range active {
+			if !v.fixed {
+				active[n] = v
+				n++
+				continue
+			}
+			for _, e := range v.cnsts {
 				if e.c.shared {
-					e.c.remCap -= worst.value * e.factor
+					e.c.remCap -= v.value * e.factor
 					if e.c.remCap < 0 {
 						e.c.remCap = 0
 					}
 				}
 			}
 		}
+		active = active[:n]
 	}
+	s.active = active[:0]
 
-	// Record usage.
-	for _, c := range s.cnsts {
+	// Record usage on the re-solved constraints.
+	for _, c := range sc {
 		u := 0.0
 		for _, e := range c.elems {
 			u += e.v.value * e.factor
 		}
 		c.usage = u
 	}
-	s.dirty = false
+
+	// Report variables whose allocation changed.
+	updated := s.updated[:0]
+	for i, v := range sv {
+		if v.value != oldVals[i] {
+			updated = append(updated, v)
+		}
+	}
+	s.updated = updated
 }
 
 // Validate checks the current solution for feasibility and max-min

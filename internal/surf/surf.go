@@ -102,14 +102,23 @@ type Action struct {
 	kind  ActionKind
 	name  string
 
-	v          *maxmin.Variable
-	resources  []*resource // for failure propagation
-	remaining  float64
-	remLatency float64
-	rate       float64
-	priority   float64
-	weightMul  float64 // RTT-derived weight multiplier (1 for compute)
-	bound      float64
+	v         *maxmin.Variable
+	resources []*resource // for failure propagation
+
+	// Progress bookkeeping is lazy: `remaining` is exact as of
+	// `lastSync` only, and is re-integrated (remaining -= rate·Δt)
+	// exclusively when the action's rate changes, completes or fails.
+	// While the rate is constant the absolute completion estimate
+	// `estFinish` is invariant, so advancing virtual time costs nothing
+	// for untouched actions.
+	remaining float64
+	lastSync  float64 // virtual time `remaining` was last integrated to
+	latUntil  float64 // absolute end of the latency phase; 0 when paid
+	estFinish float64 // absolute completion estimate (+Inf when starved)
+	rate      float64
+	priority  float64
+	weightMul float64 // RTT-derived weight multiplier (1 for compute)
+	bound     float64
 
 	start  float64
 	finish float64
@@ -129,7 +138,42 @@ func (a *Action) Kind() ActionKind { return a.kind }
 func (a *Action) Name() string { return a.name }
 
 // Remaining returns the remaining work (flops, bytes or fraction).
-func (a *Action) Remaining() float64 { return a.remaining }
+func (a *Action) Remaining() float64 {
+	if a.done || a.latUntil > 0 || a.rate <= 0 {
+		return a.remaining
+	}
+	rem := a.remaining - a.rate*(a.model.eng.Now()-a.lastSync)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// syncProgress integrates the action's progress up to virtual time now
+// (a no-op while the latency phase is still being paid, during which
+// no work is performed).
+func (a *Action) syncProgress(now float64) {
+	if a.latUntil <= 0 && a.rate > 0 && now > a.lastSync {
+		a.remaining -= a.rate * (now - a.lastSync)
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+	}
+	a.lastSync = now
+}
+
+// refreshEstimate recomputes the absolute completion estimate from the
+// remaining work and current rate; remaining must be synced to now.
+func (a *Action) refreshEstimate(now float64) {
+	switch {
+	case a.remaining <= eps:
+		a.estFinish = now
+	case a.rate > eps:
+		a.estFinish = now + a.remaining/a.rate
+	default:
+		a.estFinish = math.Inf(1)
+	}
+}
 
 // Rate returns the currently allocated progress rate.
 func (a *Action) Rate() float64 { return a.rate }
@@ -256,6 +300,9 @@ type Model struct {
 
 	actions map[*Action]struct{}
 
+	nextAt float64   // earliest pending action event, cached by NextEventTime
+	finBuf []*Action // scratch for AdvanceTo's completion sweep
+
 	// OnHostStateChange is invoked (in kernel context) when a host
 	// turns off or on via its state trace; upper layers use it to kill
 	// the processes of failed hosts.
@@ -279,6 +326,7 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 		cpus:    make(map[string]*resource),
 		links:   make(map[string]*resource),
 		actions: make(map[*Action]struct{}),
+		nextAt:  math.Inf(-1),
 	}
 	for _, h := range pf.Hosts() {
 		r := &resource{
@@ -400,6 +448,8 @@ func (m *Model) Execute(hostName string, flops, priority float64) (*Action, erro
 	a.v.Data = a
 	m.sys.Expand(r.cnst, a.v, 1)
 	a.resources = []*resource{r}
+	a.lastSync = a.start
+	a.refreshEstimate(a.start)
 	m.actions[a] = struct{}{}
 	return a, nil
 }
@@ -469,14 +519,14 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	}
 	lat := route.Latency() * m.cfg.LatencyFactor
 	a := &Action{
-		model:      m,
-		kind:       ActionComm,
-		name:       fmt.Sprintf("comm %s->%s", src, dst),
-		remaining:  bytes,
-		remLatency: lat,
-		priority:   1,
-		start:      m.eng.Now(),
+		model:     m,
+		kind:      ActionComm,
+		name:      fmt.Sprintf("comm %s->%s", src, dst),
+		remaining: bytes,
+		priority:  1,
+		start:     m.eng.Now(),
 	}
+	a.latUntil = a.start + lat
 	if m.cfg.TCPGamma > 0 && lat > 0 {
 		a.bound = m.cfg.TCPGamma / (2 * route.Latency())
 	}
@@ -496,7 +546,7 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	// latency phase ends (or immediately for zero-latency routes).
 	w := 0.0
 	if lat <= 0 {
-		a.remLatency = 0
+		a.latUntil = 0
 		w = a.effWeight()
 	}
 	rs, err := m.routeResources(src, dst, route.Links)
@@ -517,6 +567,8 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 		m.sys.Expand(r.cnst, a.v, 1)
 		a.resources = append(a.resources, r)
 	}
+	a.lastSync = a.start
+	a.refreshEstimate(a.start)
 	m.actions[a] = struct{}{}
 	return a, nil
 }
@@ -606,24 +658,41 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		// Nothing to do: completes instantly.
 		a.remaining = 0
 	}
+	a.lastSync = a.start
+	a.refreshEstimate(a.start)
 	m.actions[a] = struct{}{}
 	return a, nil
 }
 
 const eps = 1e-9
 
-// refresh re-solves the MaxMin system if needed and refreshes cached
-// action rates.
-func (m *Model) refresh() {
+// refresh re-solves the MaxMin system if needed and re-integrates the
+// progress of exactly the actions whose allocation changed (the
+// partial-solve result reported by maxmin.System.Updated); every other
+// action keeps its remaining-work sync point and absolute completion
+// estimate. Reports whether a solve happened.
+func (m *Model) refresh() bool {
 	if !m.sys.Dirty() {
-		return
+		return false
 	}
 	m.sys.Solve()
-	for a := range m.actions {
-		if a.v != nil {
-			a.rate = a.v.Value()
+	now := m.eng.Now()
+	for _, v := range m.sys.Updated() {
+		a, ok := v.Data.(*Action)
+		if !ok || a.done {
+			continue
 		}
+		if a.latUntil > 0 {
+			// No work is performed while the latency is paid; the
+			// estimate is rebuilt when the bandwidth phase starts.
+			a.rate = v.Value()
+			continue
+		}
+		a.syncProgress(now)
+		a.rate = v.Value()
+		a.refreshEstimate(now)
 	}
+	return true
 }
 
 // NextEventTime implements core.Model.
@@ -631,60 +700,62 @@ func (m *Model) NextEventTime(now float64) float64 {
 	m.refresh()
 	next := math.Inf(1)
 	for a := range m.actions {
-		var t float64
-		switch {
-		case a.remLatency > 0:
-			t = now + a.remLatency
-		case a.remaining <= eps:
-			t = now
-		case a.rate > eps:
-			t = now + a.remaining/a.rate
-		default:
-			continue // suspended or starved: no event from this action
+		t := a.estFinish
+		if a.latUntil > 0 {
+			t = a.latUntil // suspended/starved estimates are +Inf
 		}
 		if t < next {
 			next = t
 		}
 	}
+	m.nextAt = next
 	return next
 }
 
 // AdvanceTo implements core.Model.
 func (m *Model) AdvanceTo(now, t float64) {
-	m.refresh()
-	dt := t - now
-	if dt < 0 {
-		dt = 0
+	solved := m.refresh()
+	// Progress bookkeeping is lazy (absolute completion estimates), so
+	// when the step ends before this model's earliest pending event
+	// there is nothing to integrate or complete. m.nextAt is valid here
+	// because the engine calls NextEventTime immediately before
+	// AdvanceTo with nothing in between (see core.Model); the refresh
+	// above re-solving anyway disables the early exit as a guard.
+	if !solved && t+1e-9+1e-12*(1+t) < m.nextAt {
+		return
 	}
-	var finished []*Action
+	finished := m.finBuf[:0]
 	for a := range m.actions {
-		if a.remLatency > 0 {
-			a.remLatency -= dt
-			if a.remLatency <= eps {
-				a.remLatency = 0
+		if a.latUntil > 0 {
+			if t >= a.latUntil-eps {
 				// Latency paid: enter the bandwidth-sharing phase.
+				a.latUntil = 0
+				a.lastSync = t
+				a.refreshEstimate(t)
 				if !a.suspended {
 					m.sys.SetWeight(a.v, a.effWeight())
 				}
 			}
 			continue
 		}
-		a.remaining -= a.rate * dt
-		// Complete when the residual work is negligible in absolute
-		// terms, or when the residual *time* to finish it underflows
-		// the clock's float64 resolution (otherwise now + rem/rate
-		// rounds to now and the simulation would spin).
-		if a.remaining <= eps ||
-			(a.rate > eps && a.remaining/a.rate <= 1e-12*(1+t)) {
-			a.remaining = 0
+		// Complete when the absolute estimate is reached, with a slack
+		// absorbing the clock's float64 resolution (otherwise the
+		// engine would spin on a next-event time that rounds to now).
+		if a.estFinish <= t+1e-12*(1+t) {
 			finished = append(finished, a)
 		}
 	}
 	// Deterministic completion order (by start time then name).
 	sortActions(finished)
 	for _, a := range finished {
+		a.remaining = 0
+		a.lastSync = t
 		m.complete(a, nil)
 	}
+	for i := range finished {
+		finished[i] = nil // release completed actions for the collector
+	}
+	m.finBuf = finished[:0]
 }
 
 func sortActions(actions []*Action) {
@@ -706,6 +777,7 @@ func (m *Model) complete(a *Action, err error) {
 	if a.done {
 		return
 	}
+	a.syncProgress(m.eng.Now()) // freeze Remaining at the failure point
 	a.done = true
 	a.err = err
 	a.finish = m.eng.Now()

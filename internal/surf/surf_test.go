@@ -709,3 +709,49 @@ func TestDoubleWaiterRejected(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 }
+
+// The lazy progress bookkeeping (absolute completion estimates,
+// re-integrated only when the MaxMin solve changes a rate) must still
+// report live Remaining values mid-flight, and churn on unrelated
+// resources must not disturb an action's progress or completion time.
+func TestRemainingTracksLazyProgress(t *testing.T) {
+	e := core.New()
+	m := New(e, testPlatform(t), exactCfg())
+	var act *Action
+	e.Spawn("worker", nil, func(p *core.Process) {
+		var err error
+		act, err = m.Execute("h1", 2e9, 1) // 2 Gflop at 1 Gflop/s -> done at 2
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		act.Wait(p)
+	})
+	// Unrelated churn on h2: forces re-solves whose partial results must
+	// leave h1's action untouched (it is in another component).
+	e.At(0.25, func() {
+		if _, err := m.Execute("h2", 1e9, 1); err != nil {
+			t.Errorf("churn Execute: %v", err)
+		}
+	})
+	var remAtHalf, rateAtHalf float64
+	e.At(0.5, func() {
+		remAtHalf = act.Remaining()
+		rateAtHalf = act.Rate()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !approx(remAtHalf, 1.5e9, 1) {
+		t.Errorf("Remaining at t=0.5 = %g, want 1.5e9", remAtHalf)
+	}
+	if !approx(rateAtHalf, 1e9, 1) {
+		t.Errorf("Rate at t=0.5 = %g, want 1e9", rateAtHalf)
+	}
+	if !approx(e.Now(), 2, 1e-9) {
+		t.Errorf("finished at %g, want 2", e.Now())
+	}
+	if act.Remaining() != 0 {
+		t.Errorf("Remaining after completion = %g, want 0", act.Remaining())
+	}
+}
