@@ -1,0 +1,151 @@
+// MSG-level scaling benchmarks: many processes exchanging tasks through
+// the full stack (kernel run queue, mailboxes, fluid model, lazy action
+// heap) rather than the bare solver. This is the workload class the
+// lazy action management targets: with a linear next-event scan each
+// simulation step costs O(concurrent actions), so per-activity cost
+// grows with the platform size; with the event heap it stays flat.
+//
+// Only public APIs are used, so the file can be dropped onto an older
+// revision to measure a baseline.
+package simgrid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+// msgScalingPlatform builds nPairs disjoint sender/receiver host pairs,
+// each wired by a dedicated link. With stagger set, bandwidth and
+// latency vary per pair so completions spread out (one event per step,
+// the worst case for a linear completion sweep); without it all pairs
+// run in lock-step, so every step dirties every component (the best
+// case for the parallel component solve).
+func msgScalingPlatform(b *testing.B, nPairs int, stagger bool) *platform.Platform {
+	b.Helper()
+	pf := platform.New()
+	for i := 0; i < nPairs; i++ {
+		src, dst := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		if err := pf.AddHost(&platform.Host{Name: src, Power: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+		if err := pf.AddHost(&platform.Host{Name: dst, Power: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+		l := &platform.Link{Name: fmt.Sprintf("l%d", i), Bandwidth: 1e8, Latency: 1e-4}
+		if stagger {
+			l.Bandwidth *= 1 + 0.15*float64(i%7)
+			l.Latency *= 1 + float64(i%5)
+		}
+		if err := pf.AddRoute(src, dst, []*platform.Link{l}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pf
+}
+
+// runMSGScaling simulates nPairs pairs doing rounds of transfer+compute
+// each: 2·nPairs·rounds activities total, up to nPairs of them
+// concurrent.
+func runMSGScaling(b *testing.B, pf *platform.Platform, nPairs, rounds int) {
+	b.Helper()
+	env := buildScalingEnv(b, pf, nPairs, rounds, false, true)
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMSGScaling is the million-activity end-to-end benchmark:
+// ns/activity flat across scales demonstrates that NextEventTime and
+// AdvanceTo no longer pay O(actions) per step. The 1M case is skipped
+// under -short (CI smoke).
+func BenchmarkMSGScaling(b *testing.B) {
+	cases := []struct {
+		name   string
+		pairs  int
+		rounds int
+	}{
+		{"activities-1k", 50, 10},
+		{"activities-10k", 500, 10},
+		{"activities-100k", 5000, 10},
+		{"activities-1M", 10000, 50},
+	}
+	for _, c := range cases {
+		activities := 2 * c.pairs * c.rounds
+		b.Run(c.name, func(b *testing.B) {
+			if testing.Short() && activities > 200000 {
+				b.Skipf("skipping %d activities under -short", activities)
+			}
+			pf := msgScalingPlatform(b, c.pairs, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runMSGScaling(b, pf, c.pairs, c.rounds)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*activities), "ns/activity")
+		})
+	}
+}
+
+// BenchmarkMSGScalingParallelSolve pins the parallel component solve on
+// a multi-island MSG workload (many disjoint pairs are many independent
+// components): sequential forces workers=1, parallel uses GOMAXPROCS.
+func BenchmarkMSGScalingParallelSolve(b *testing.B) {
+	const pairs, rounds = 2000, 10
+	pf := msgScalingPlatform(b, pairs, false)
+	for _, mode := range []string{"sequential", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := buildScalingEnv(b, pf, pairs, rounds, mode == "sequential", false)
+				if err := env.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2*pairs*rounds), "ns/activity")
+		})
+	}
+}
+
+func buildScalingEnv(b *testing.B, pf *platform.Platform, nPairs, rounds int, sequential, stagger bool) *msg.Environment {
+	b.Helper()
+	cfg := surf.DefaultConfig()
+	if sequential {
+		cfg.SolverWorkers = 1
+	}
+	env := msg.NewEnvironment(pf, cfg)
+	const channel = 1
+	for i := 0; i < nPairs; i++ {
+		src, dst := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		bytes, flops := 1e5, 1e6
+		if stagger {
+			bytes *= 1 + float64(i%9)
+			flops *= 1 + float64(i%4)
+		}
+		if _, err := env.NewProcess("recv", dst, func(p *msg.Process) error {
+			for r := 0; r < rounds; r++ {
+				if _, err := p.Get(channel); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.NewProcess("send", src, func(p *msg.Process) error {
+			for r := 0; r < rounds; r++ {
+				if err := p.Put(msg.NewTask("t", 0, bytes), dst, channel); err != nil {
+					return err
+				}
+				if err := p.Execute(msg.NewTask("c", flops, 0)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return env
+}

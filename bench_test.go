@@ -207,9 +207,13 @@ func BenchmarkFigMaxMin(b *testing.B) {
 // maxminFlowChurn is a MaxMin-level model of a federated grid: flows
 // routed over independent Waxman islands (16 routers + 16 hosts each),
 // so churn in one island never disturbs the components of the others.
+// Links are mapped to constraints exactly like surf.New does for the
+// validation platforms: split-duplex links (which is what the Waxman
+// generator emits) get one independent constraint per direction, and
+// routes resolve to the constraints of the traversed direction.
 type maxminFlowChurn struct {
 	sys    *maxmin.System
-	routes [][]*maxmin.Constraint // precomputed candidate routes
+	routes [][]*maxmin.Constraint // precomputed candidate (directed) routes
 	flows  []*maxmin.Variable     // live flow ring
 	next   int                    // next candidate route to use
 }
@@ -237,24 +241,44 @@ func newMaxMinFlowChurn(b *testing.B, nFlows int) *maxminFlowChurn {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cnst := make(map[*platform.Link]*maxmin.Constraint)
-		for _, l := range pf.Links() {
-			cnst[l] = cb.sys.NewConstraint(l.Bandwidth)
+		// Directional (split-duplex) constraints, keyed like surf.New:
+		// "<link>-><endpoint>" per direction, plain link name otherwise.
+		cnst := make(map[string]*maxmin.Constraint)
+		for _, e := range pf.Edges() {
+			if e.Link.Policy == platform.SplitDuplex {
+				cnst[e.Link.Name+"->"+e.A] = cb.sys.NewConstraint(e.Link.Bandwidth)
+				cnst[e.Link.Name+"->"+e.B] = cb.sys.NewConstraint(e.Link.Bandwidth)
+			} else {
+				cnst[e.Link.Name] = cb.sys.NewConstraint(e.Link.Bandwidth)
+			}
 		}
-		// Deterministic intra-island host pairs.
+		// Deterministic intra-island host pairs, resolved to the hop
+		// route so each flow consumes the traversed direction only.
 		for k := 0; k < 2*nFlows/nIslands+2; k++ {
 			src := fmt.Sprintf("host%d", (k*5+isl)%islandSize)
 			dst := fmt.Sprintf("host%d", (k*11+7)%islandSize)
 			if src == dst {
 				continue
 			}
-			route, err := pf.Route(src, dst)
-			if err != nil || len(route.Links) == 0 {
+			hops, err := pf.HopRoute(src, dst)
+			if err != nil || len(hops) == 0 {
 				continue
 			}
-			cs := make([]*maxmin.Constraint, len(route.Links))
-			for i, l := range route.Links {
-				cs[i] = cnst[l]
+			cs := make([]*maxmin.Constraint, len(hops))
+			ok := true
+			for i, h := range hops {
+				c := cnst[h.Link.Name+"->"+h.B]
+				if c == nil {
+					c = cnst[h.Link.Name]
+				}
+				if c == nil {
+					ok = false
+					break
+				}
+				cs[i] = c
+			}
+			if !ok {
+				continue
 			}
 			cb.routes = append(cb.routes, cs)
 		}
@@ -285,6 +309,32 @@ func benchMaxMinFlowChurn(b *testing.B, nFlows int, fullRecompute bool) {
 			cb.sys.InvalidateAll()
 		}
 		cb.sys.Solve()
+	}
+}
+
+// BenchmarkMaxMinParallelSolve measures the parallel component solve on
+// a full recompute of the island federation (the multi-island platform
+// case): every island is an independent component, so the progressive
+// filling of the whole system fans out across the worker pool.
+// workers-1 is the sequential baseline; workers-auto uses GOMAXPROCS.
+func BenchmarkMaxMinParallelSolve(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, workers := range []int{1, 0} {
+			mode := "workers-auto"
+			if workers == 1 {
+				mode = "workers-1"
+			}
+			b.Run(fmt.Sprintf("flows-%d/%s", n, mode), func(b *testing.B) {
+				cb := newMaxMinFlowChurn(b, n)
+				cb.sys.SetWorkers(workers)
+				cb.sys.Solve()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cb.sys.InvalidateAll()
+					cb.sys.Solve()
+				}
+			})
+		}
 	}
 }
 

@@ -42,6 +42,8 @@ func main() {
 	deployPath := flag.String("deploy", "", "deployment JSON file")
 	showGantt := flag.Bool("gantt", false, "print a Gantt chart after the run")
 	width := flag.Int("width", 100, "gantt width")
+	solverWorkers := flag.Int("solver-workers", 0,
+		"worker pool bound for the parallel MaxMin component solve (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	if *platformPath == "" || *deployPath == "" {
 		flag.Usage()
@@ -57,7 +59,9 @@ func main() {
 		log.Fatalf("loading deployment: %v", err)
 	}
 
-	env := msg.NewEnvironment(pf, surf.DefaultConfig())
+	cfg := surf.DefaultConfig()
+	cfg.SolverWorkers = *solverWorkers
+	env := msg.NewEnvironment(pf, cfg)
 	if *showGantt {
 		env.Gantt = &gantt.Recorder{}
 	}

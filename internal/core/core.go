@@ -89,18 +89,24 @@ type killedSignal struct{}
 //
 // The engine contract: on every scheduling round, NextEventTime is
 // called on each model (after all runnable processes and due timers
-// have run) before the clock advances, and AdvanceTo follows with no
-// intervening process, timer, or model activity. Models may therefore
-// cache state computed in NextEventTime — e.g. the earliest pending
-// event — and rely on it in the immediately following AdvanceTo (surf
-// uses this for its O(1) no-event early exit). Any engine refactor
-// that decouples the two calls must revisit such caches.
+// have run) before the clock advances. AdvanceTo is then invoked — with
+// no intervening process, timer, or model activity — but ONLY on the
+// models whose reported next event time has been reached: a model that
+// answered a time beyond the new clock value is skipped entirely for
+// that step. Models must therefore keep progress bookkeeping lazily
+// (e.g. absolute completion estimates re-derived when rates change, as
+// surf does) rather than relying on AdvanceTo to integrate every
+// elapsed interval. Models may cache state computed in NextEventTime
+// and rely on it in the immediately following AdvanceTo; any engine
+// refactor that decouples the two calls must revisit such caches.
 type Model interface {
 	// NextEventTime returns the earliest absolute time at which an
 	// action managed by this model completes, or +Inf if none.
 	NextEventTime(now float64) float64
-	// AdvanceTo integrates action progress from now to t and completes
-	// every action finishing at t, waking its waiters via Engine.Wake.
+	// AdvanceTo completes every action finishing at t, waking its
+	// waiters via Engine.Wake. It is only called for steps with t at
+	// (or, for multi-model engines, past) the model's reported next
+	// event time.
 	AdvanceTo(now, t float64)
 }
 
@@ -235,10 +241,12 @@ type Engine struct {
 	nextPID int
 	nextSeq int64
 	current *Process
-	live    int // non-daemon processes not yet Done
-	liveAll int // all processes not yet Done
-	fatal   error
-	running bool
+
+	modelNext []float64 // per-model next event time, filled each round
+	live      int       // non-daemon processes not yet Done
+	liveAll   int       // all processes not yet Done
+	fatal     error
+	running   bool
 
 	// MaxTime, when > 0, stops the simulation at that virtual time even
 	// if activities remain (useful for steady-state measurements).
@@ -542,10 +550,17 @@ func (e *Engine) Run() error {
 			return nil
 		}
 
-		// Phase 2: find the next event.
+		// Phase 2: find the next event. Each model's answer is kept so
+		// phase 3 can skip the models with nothing due at the new time.
 		next := math.Inf(1)
-		for _, m := range e.models {
-			if t := m.NextEventTime(e.now); t < next {
+		if cap(e.modelNext) < len(e.models) {
+			e.modelNext = make([]float64, len(e.models))
+		}
+		modelNext := e.modelNext[:len(e.models)]
+		for i, m := range e.models {
+			t := m.NextEventTime(e.now)
+			modelNext[i] = t
+			if t < next {
 				next = t
 			}
 		}
@@ -571,14 +586,18 @@ func (e *Engine) Run() error {
 		}
 
 		// Phase 3: advance the clock and fire everything due at `next`.
-		// Models integrate the elapsed interval first (with the rates
-		// that were in force during it); only then do timers fire, so
-		// trace-driven capacity changes at `next` never apply
-		// retroactively to [prev, next].
+		// Models complete their due actions first (progress bookkeeping
+		// is lazy, see Model); only then do timers fire, so trace-driven
+		// capacity changes at `next` never apply retroactively to
+		// [prev, next]. Models whose earliest event lies beyond the new
+		// time have nothing due and are not polled at all — with lazy
+		// bookkeeping a skipped step costs them literally nothing.
 		prev := e.now
 		e.now = next
-		for _, m := range e.models {
-			m.AdvanceTo(prev, e.now)
+		for i, m := range e.models {
+			if modelNext[i] <= e.now {
+				m.AdvanceTo(prev, e.now)
+			}
 		}
 		for len(e.timers) > 0 && e.timers[0].at <= e.now {
 			tm := heap.Pop(&e.timers).(*timer)

@@ -574,6 +574,33 @@ func (m *fakeModel) AdvanceTo(now, t float64) {
 	}
 }
 
+// TestModelAdvanceSkippedWhenNotDue pins the Model contract: AdvanceTo
+// is only invoked for steps that reach the model's reported next event
+// time, so timer-driven steps before it never poll the model.
+func TestModelAdvanceSkippedWhenNotDue(t *testing.T) {
+	e := New()
+	var waiter *Process
+	m := &fakeModel{completeAt: 10}
+	m.onComplete = func() { e.Wake(waiter, nil) }
+	e.AddModel(m)
+	var timerFired []float64
+	e.At(2, func() { timerFired = append(timerFired, e.Now()) })
+	e.At(5, func() { timerFired = append(timerFired, e.Now()) })
+	e.Spawn("w", nil, func(p *Process) {
+		waiter = p
+		p.Block()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(timerFired) != 2 {
+		t.Fatalf("timers fired at %v, want 2 firings", timerFired)
+	}
+	if len(m.advanced) != 1 || m.advanced[0] != 10 {
+		t.Errorf("model advanced at %v, want exactly [10] (timer steps must be skipped)", m.advanced)
+	}
+}
+
 func TestModelDrivesCompletion(t *testing.T) {
 	e := New()
 	var waiter *Process

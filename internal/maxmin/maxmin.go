@@ -26,16 +26,25 @@
 // Solve reports the variables whose allocation actually changed via
 // Updated, letting callers refresh only the affected activities.
 //
+// Because max-min fairness decomposes exactly per connected component,
+// the dirty components are also independent solving units: when the
+// dirty scope is large enough, Solve dispatches them to a bounded
+// worker pool (SetWorkers, default GOMAXPROCS) and merges the results,
+// which is bit-identical to solving them sequentially.
+//
 // All per-solve bookkeeping (weighted loads, the active set, the
 // component worklist) lives in scratch slices reused across solves, so
-// a steady-state re-solve performs no heap allocation.
+// a steady-state sequential re-solve performs no heap allocation.
 package maxmin
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Variable is one activity receiving an allocation. Create variables
@@ -92,6 +101,14 @@ type Constraint struct {
 	visit  uint64  // component-walk generation mark
 }
 
+// component is one connected component of the dirty scope, as ranges
+// into the solveVars/solveCnsts slices (collectScope appends each
+// component contiguously).
+type component struct {
+	v0, v1 int // solveVars[v0:v1]
+	c0, c1 int // solveCnsts[c0:c1]
+}
+
 // System holds variables and constraints and solves the allocation.
 // The zero value is not usable; call NewSystem.
 type System struct {
@@ -108,18 +125,39 @@ type System struct {
 
 	visitGen uint64 // current component-walk generation
 
+	// workers bounds the pool used to solve independent components in
+	// parallel; 0 means GOMAXPROCS, 1 forces sequential solving.
+	workers int
+
 	// Scratch storage reused across solves (no steady-state allocation).
-	loads      []float64 // weighted load per constraint, indexed by Constraint.idx
-	solveVars  []*Variable
-	solveCnsts []*Constraint
-	active     []*Variable
-	oldVals    []float64 // pre-solve values of solveVars, for Updated
-	updated    []*Variable
-	queue      []*Constraint // component-walk worklist
+	loads        []float64 // weighted load per constraint, indexed by Constraint.idx
+	solveVars    []*Variable
+	solveCnsts   []*Constraint
+	comps        []component
+	active       []*Variable
+	workerActive [][]*Variable // per-worker active-set scratch
+	oldVals      []float64     // pre-solve values of solveVars, for Updated
+	updated      []*Variable
+	queue        []*Constraint // component-walk worklist
 }
 
 // NewSystem returns an empty linear MaxMin system.
 func NewSystem() *System { return &System{} }
+
+// SetWorkers bounds the worker pool used to solve independent dirty
+// components in parallel. n == 1 forces sequential solving; n <= 0
+// restores the default (GOMAXPROCS). Small solve scopes are always
+// solved sequentially regardless of this setting, since the dispatch
+// overhead would dominate.
+func (s *System) SetWorkers(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// Workers returns the configured worker bound (0 = GOMAXPROCS).
+func (s *System) Workers() int { return s.workers }
 
 func (s *System) touchVar(v *Variable) {
 	if !v.dirty {
@@ -371,39 +409,35 @@ func (s *System) Solve() {
 
 // collectScope fills s.solveVars/s.solveCnsts with the members of every
 // connected component containing a dirty element (or the whole system
-// when allDirty), clearing the dirty queues.
+// when allDirty), clearing the dirty queues. Each component is laid out
+// contiguously and its ranges recorded in s.comps, so components can be
+// solved independently (and in parallel).
 func (s *System) collectScope() {
 	sv := s.solveVars[:0]
 	sc := s.solveCnsts[:0]
-	if s.allDirty {
-		sv = append(sv, s.vars...)
-		sc = append(sc, s.cnsts...)
-	} else {
-		s.visitGen++
-		g := s.visitGen
-		queue := s.queue[:0]
-		addC := func(c *Constraint) {
-			if c.sys == s && c.visit != g {
-				c.visit = g
-				sc = append(sc, c)
-				queue = append(queue, c)
+	comps := s.comps[:0]
+	s.visitGen++
+	g := s.visitGen
+	queue := s.queue[:0]
+	addC := func(c *Constraint) {
+		if c.sys == s && c.visit != g {
+			c.visit = g
+			sc = append(sc, c)
+			queue = append(queue, c)
+		}
+	}
+	addV := func(v *Variable) {
+		if v.sys == s && v.visit != g {
+			v.visit = g
+			sv = append(sv, v)
+			for _, e := range v.cnsts {
+				addC(e.c)
 			}
 		}
-		addV := func(v *Variable) {
-			if v.sys == s && v.visit != g {
-				v.visit = g
-				sv = append(sv, v)
-				for _, e := range v.cnsts {
-					addC(e.c)
-				}
-			}
-		}
-		for _, v := range s.dirtyVars {
-			addV(v)
-		}
-		for _, c := range s.dirtyCnsts {
-			addC(c)
-		}
+	}
+	// Walk one full component from each unvisited seed before moving to
+	// the next seed, so components land contiguously in sv/sc.
+	closeComponent := func(v0, c0 int) {
 		for len(queue) > 0 {
 			c := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
@@ -411,8 +445,34 @@ func (s *System) collectScope() {
 				addV(e.v)
 			}
 		}
-		s.queue = queue[:0]
+		if len(sv) > v0 || len(sc) > c0 {
+			comps = append(comps, component{v0: v0, v1: len(sv), c0: c0, c1: len(sc)})
+		}
 	}
+	if s.allDirty {
+		for _, v := range s.vars {
+			v0, c0 := len(sv), len(sc)
+			addV(v)
+			closeComponent(v0, c0)
+		}
+		for _, c := range s.cnsts {
+			v0, c0 := len(sv), len(sc)
+			addC(c)
+			closeComponent(v0, c0)
+		}
+	} else {
+		for _, v := range s.dirtyVars {
+			v0, c0 := len(sv), len(sc)
+			addV(v)
+			closeComponent(v0, c0)
+		}
+		for _, c := range s.dirtyCnsts {
+			v0, c0 := len(sv), len(sc)
+			addC(c)
+			closeComponent(v0, c0)
+		}
+	}
+	s.queue = queue[:0]
 	for _, v := range s.dirtyVars {
 		v.dirty = false
 	}
@@ -422,11 +482,35 @@ func (s *System) collectScope() {
 	s.dirtyVars = s.dirtyVars[:0]
 	s.dirtyCnsts = s.dirtyCnsts[:0]
 	s.allDirty = false
-	s.solveVars, s.solveCnsts = sv, sc
+	s.solveVars, s.solveCnsts, s.comps = sv, sc, comps
 }
 
-// solve re-runs progressive filling on the dirty components and records
-// which variables changed value.
+// minParallelComponents / minParallelScopeVars gate the parallel
+// dispatch: below these scope sizes the per-solve goroutine spawn cost
+// exceeds the solving work and the sequential path wins.
+const (
+	minParallelComponents = 4
+	minParallelScopeVars  = 256
+)
+
+// parallelism decides how many workers to use for the current scope.
+func (s *System) parallelism() int {
+	w := s.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 || len(s.comps) < minParallelComponents || len(s.solveVars) < minParallelScopeVars {
+		return 1
+	}
+	if w > len(s.comps) {
+		w = len(s.comps)
+	}
+	return w
+}
+
+// solve re-runs progressive filling on the dirty components — in
+// parallel when the scope is large enough — and records which variables
+// changed value.
 func (s *System) solve() {
 	s.collectScope()
 	sv, sc := s.solveVars, s.solveCnsts
@@ -444,9 +528,67 @@ func (s *System) solve() {
 	}
 	s.oldVals = oldVals
 
+	if workers := s.parallelism(); workers > 1 {
+		s.solveParallel(workers, loads)
+	} else {
+		active := s.active
+		for _, cr := range s.comps {
+			active = solveComponent(sv[cr.v0:cr.v1], sc[cr.c0:cr.c1], loads, active[:0])
+		}
+		s.active = active[:0]
+	}
+
+	// Report variables whose allocation changed.
+	updated := s.updated[:0]
+	for i, v := range sv {
+		if v.value != oldVals[i] {
+			updated = append(updated, v)
+		}
+	}
+	s.updated = updated
+}
+
+// solveParallel dispatches the collected components to a pool of
+// workers pulling from a shared index. Components only ever touch their
+// own variables, constraints and loads[] entries (constraint indices
+// are disjoint across components), so workers share no mutable state
+// beyond the claim counter; the merged result is bit-identical to the
+// sequential order.
+func (s *System) solveParallel(workers int, loads []float64) {
+	sv, sc, comps := s.solveVars, s.solveCnsts, s.comps
+	if len(s.workerActive) < workers {
+		s.workerActive = append(s.workerActive, make([][]*Variable, workers-len(s.workerActive))...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			active := s.workerActive[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(comps) {
+					break
+				}
+				cr := comps[i]
+				active = solveComponent(sv[cr.v0:cr.v1], sc[cr.c0:cr.c1], loads, active[:0])
+			}
+			s.workerActive[w] = active[:0]
+		}(w)
+	}
+	wg.Wait()
+}
+
+// solveComponent runs progressive filling on one connected component
+// (sv/sc are the component's members) and stores values and usage on
+// its variables and constraints. loads is the system-wide
+// constraint-indexed scratch (components touch disjoint entries);
+// active is the caller's scratch for the active set, returned for
+// reuse.
+func solveComponent(sv []*Variable, sc []*Constraint, loads []float64, active []*Variable) []*Variable {
 	// Reset scope state; variables on a zero-capacity constraint (shared
 	// or fatpipe alike) are fixed at 0 immediately.
-	active := s.active[:0]
 	for _, v := range sv {
 		v.fixed = true
 		v.value = 0
@@ -589,7 +731,6 @@ func (s *System) solve() {
 		}
 		active = active[:n]
 	}
-	s.active = active[:0]
 
 	// Record usage on the re-solved constraints.
 	for _, c := range sc {
@@ -599,15 +740,7 @@ func (s *System) solve() {
 		}
 		c.usage = u
 	}
-
-	// Report variables whose allocation changed.
-	updated := s.updated[:0]
-	for i, v := range sv {
-		if v.value != oldVals[i] {
-			updated = append(updated, v)
-		}
-	}
-	s.updated = updated
+	return active[:0]
 }
 
 // Validate checks the current solution for feasibility and max-min

@@ -1,0 +1,171 @@
+package maxmin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// islandSystem is a federation of independent sharing islands — many
+// connected components — used to exercise the parallel component solve.
+type islandSystem struct {
+	sys   *System
+	cnsts [][]*Constraint // per island
+	vars  [][]*Variable   // per island
+	rng   *rand.Rand
+}
+
+// newIslandSystem builds nIslands components of nCnsts constraints and
+// nVars variables each, with random routes of 1-3 constraints.
+func newIslandSystem(seed int64, workers, nIslands, nCnsts, nVars int) *islandSystem {
+	is := &islandSystem{sys: NewSystem(), rng: rand.New(rand.NewSource(seed))}
+	is.sys.SetWorkers(workers)
+	for i := 0; i < nIslands; i++ {
+		cs := make([]*Constraint, nCnsts)
+		for j := range cs {
+			cs[j] = is.sys.NewConstraint(10 + is.rng.Float64()*90)
+			if is.rng.Intn(10) == 0 {
+				is.sys.SetShared(cs[j], false)
+			}
+		}
+		vs := make([]*Variable, nVars)
+		for j := range vs {
+			vs[j] = is.newVar(cs)
+		}
+		is.cnsts = append(is.cnsts, cs)
+		is.vars = append(is.vars, vs)
+	}
+	return is
+}
+
+func (is *islandSystem) newVar(cs []*Constraint) *Variable {
+	bound := 0.0
+	if is.rng.Intn(3) == 0 {
+		bound = 1 + is.rng.Float64()*20
+	}
+	v := is.sys.NewVariable(0.5+is.rng.Float64()*2, bound)
+	for _, k := range is.rng.Perm(len(cs))[:1+is.rng.Intn(3)] {
+		is.sys.Expand(cs[k], v, 0.5+is.rng.Float64())
+	}
+	return v
+}
+
+// churn mutates nTouch random islands: one variable replaced, one
+// capacity changed, one weight changed.
+func (is *islandSystem) churn(nTouch int) {
+	for t := 0; t < nTouch; t++ {
+		i := is.rng.Intn(len(is.vars))
+		cs, vs := is.cnsts[i], is.vars[i]
+		j := is.rng.Intn(len(vs))
+		is.sys.RemoveVariable(vs[j])
+		vs[j] = is.newVar(cs)
+		is.sys.SetCapacity(cs[is.rng.Intn(len(cs))], 10+is.rng.Float64()*90)
+		is.sys.SetWeight(vs[is.rng.Intn(len(vs))], 0.5+is.rng.Float64()*2)
+	}
+}
+
+// TestParallelSolveEquivalence drives identical mutation sequences
+// through a sequential (workers=1) and a parallel (workers=8) system —
+// large enough that the parallel path actually engages — and asserts
+// bit-identical allocations after every solve.
+func TestParallelSolveEquivalence(t *testing.T) {
+	const (
+		seed     = 7
+		nIslands = 40
+		nCnsts   = 4
+		nVars    = 12 // 480 vars total; churn scope comfortably > minParallelScopeVars
+	)
+	seq := newIslandSystem(seed, 1, nIslands, nCnsts, nVars)
+	par := newIslandSystem(seed, 8, nIslands, nCnsts, nVars)
+	compare := func(step int) {
+		t.Helper()
+		if len(seq.sys.vars) != len(par.sys.vars) {
+			t.Fatalf("step %d: variable counts diverged: %d vs %d", step, len(seq.sys.vars), len(par.sys.vars))
+		}
+		for i := range seq.vars {
+			for j := range seq.vars[i] {
+				got, want := par.vars[i][j].Value(), seq.vars[i][j].Value()
+				if got != want {
+					t.Fatalf("step %d: island %d var %d: parallel=%g sequential=%g", step, i, j, got, want)
+				}
+			}
+		}
+		for i := range seq.cnsts {
+			for j := range seq.cnsts[i] {
+				got, want := par.cnsts[i][j].Usage(), seq.cnsts[i][j].Usage()
+				if got != want {
+					t.Fatalf("step %d: island %d cnst %d usage: parallel=%g sequential=%g", step, i, j, got, want)
+				}
+			}
+		}
+	}
+	seq.sys.Solve()
+	par.sys.Solve()
+	compare(0)
+	for step := 1; step <= 30; step++ {
+		// Touch many islands so the dirty scope crosses the parallel
+		// dispatch thresholds (≥4 components, ≥256 scope variables).
+		seq.churn(25)
+		par.churn(25)
+		seq.sys.Solve()
+		par.sys.Solve()
+		compare(step)
+		if nu, ns := len(par.sys.Updated()), len(seq.sys.Updated()); nu != ns {
+			t.Fatalf("step %d: Updated() sizes diverged: parallel=%d sequential=%d", step, nu, ns)
+		}
+	}
+	if problems := par.sys.Validate(1e-6); len(problems) > 0 {
+		t.Fatalf("parallel solution invalid: %v", problems)
+	}
+}
+
+// TestParallelSolveAllDirty checks the full-recompute path (allDirty
+// partitions the whole system into components) under parallel dispatch.
+func TestParallelSolveAllDirty(t *testing.T) {
+	seq := newIslandSystem(11, 1, 32, 3, 10)
+	par := newIslandSystem(11, 8, 32, 3, 10)
+	seq.sys.Solve()
+	par.sys.Solve()
+	seq.sys.InvalidateAll()
+	par.sys.InvalidateAll()
+	seq.sys.Solve()
+	par.sys.Solve()
+	for i := range seq.vars {
+		for j := range seq.vars[i] {
+			if got, want := par.vars[i][j].Value(), seq.vars[i][j].Value(); got != want {
+				t.Fatalf("island %d var %d: parallel=%g sequential=%g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersConfig pins the SetWorkers/parallelism contract:
+// tiny scopes stay sequential, big multi-component scopes use the pool.
+func TestParallelWorkersConfig(t *testing.T) {
+	s := NewSystem()
+	if s.Workers() != 0 {
+		t.Errorf("default workers = %d, want 0 (GOMAXPROCS)", s.Workers())
+	}
+	s.SetWorkers(3)
+	if s.Workers() != 3 {
+		t.Errorf("workers = %d, want 3", s.Workers())
+	}
+	s.SetWorkers(-1)
+	if s.Workers() != 0 {
+		t.Errorf("workers after reset = %d, want 0", s.Workers())
+	}
+
+	// A 2-component system below the size thresholds must solve
+	// sequentially even with many workers configured.
+	s.SetWorkers(8)
+	a := s.NewConstraint(10)
+	b := s.NewConstraint(10)
+	s.Expand(a, s.NewVariable(1, 0), 1)
+	s.Expand(b, s.NewVariable(1, 0), 1)
+	s.collectScope()
+	if got := s.parallelism(); got != 1 {
+		t.Errorf("parallelism for tiny scope = %d, want 1", got)
+	}
+	if len(s.comps) != 2 {
+		t.Errorf("components = %d, want 2", len(s.comps))
+	}
+}

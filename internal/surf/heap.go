@@ -1,0 +1,98 @@
+package surf
+
+// actionHeap is an indexed binary min-heap over the model's in-flight
+// actions, keyed on each action's next event time (the end of its
+// latency phase while that is being paid, its absolute completion
+// estimate afterwards). It implements SimGrid's "lazy action
+// management": NextEventTime is a peek and AdvanceTo pops only due
+// actions, instead of min-scanning every action per step.
+//
+// Keys change only when an action's rate changes (reported by
+// maxmin.System.Updated after a solve) or when its latency phase ends,
+// so the heap is re-keyed incrementally: O(log n) per changed action
+// rather than O(n) per step.
+type actionHeap []*Action
+
+// eventKey is the heap key: the absolute time of the action's next
+// event. Suspended or starved bandwidth-phase actions have estFinish
+// +Inf and sink to the bottom.
+func (a *Action) eventKey() float64 {
+	if a.latUntil > 0 {
+		return a.latUntil
+	}
+	return a.estFinish
+}
+
+func (h actionHeap) less(i, j int) bool { return h[i].eventKey() < h[j].eventKey() }
+
+func (h actionHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h actionHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h actionHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// push inserts a (which must not be in the heap) and records its index.
+func (h *actionHeap) push(a *Action) {
+	a.heapIdx = len(*h)
+	*h = append(*h, a)
+	h.up(a.heapIdx)
+}
+
+// fix restores the invariant after the key of h[i] changed in place.
+func (h actionHeap) fix(i int) {
+	h.up(i)
+	h.down(i)
+}
+
+// remove deletes h[i] from the heap and clears its index.
+func (h *actionHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	a := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil // release for the collector
+	*h = old[:n]
+	if i != n {
+		(*h).fix(i)
+	}
+	a.heapIdx = -1
+}
+
+// popMin removes and returns the action with the earliest event.
+func (h *actionHeap) popMin() *Action {
+	a := (*h)[0]
+	h.remove(0)
+	return a
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// RTTReference normalizes RTT weighting (weight = priority ×
 	// RTTReference / RTT); only relative weights matter.
 	RTTReference float64
+	// SolverWorkers bounds the worker pool solving independent MaxMin
+	// components in parallel (multi-island platforms): 1 forces a
+	// sequential solve, 0 uses GOMAXPROCS. Small solve scopes are
+	// always sequential regardless.
+	SolverWorkers int
 }
 
 // DefaultConfig returns the model defaults (CM02-flavoured).
@@ -115,6 +120,7 @@ type Action struct {
 	lastSync  float64 // virtual time `remaining` was last integrated to
 	latUntil  float64 // absolute end of the latency phase; 0 when paid
 	estFinish float64 // absolute completion estimate (+Inf when starved)
+	heapIdx   int     // position in the model's event heap; -1 when out
 	rate      float64
 	priority  float64
 	weightMul float64 // RTT-derived weight multiplier (1 for compute)
@@ -298,10 +304,14 @@ type Model struct {
 	cpus  map[string]*resource
 	links map[string]*resource
 
-	actions map[*Action]struct{}
+	// heap is both the set of in-flight actions and the future-event
+	// index over them ("lazy action management"): a min-heap keyed on
+	// each action's next event time, re-keyed incrementally as rates
+	// change. NextEventTime peeks it; AdvanceTo pops only due actions.
+	heap actionHeap
 
-	nextAt float64   // earliest pending action event, cached by NextEventTime
-	finBuf []*Action // scratch for AdvanceTo's completion sweep
+	finBuf    []*Action // scratch for AdvanceTo's completion sweep
+	repushBuf []*Action // scratch for AdvanceTo's re-keyed actions
 
 	// OnHostStateChange is invoked (in kernel context) when a host
 	// turns off or on via its state trace; upper layers use it to kill
@@ -319,15 +329,14 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 		cfg.LatencyFactor = 1
 	}
 	m := &Model{
-		eng:     eng,
-		pf:      pf,
-		cfg:     cfg,
-		sys:     maxmin.NewSystem(),
-		cpus:    make(map[string]*resource),
-		links:   make(map[string]*resource),
-		actions: make(map[*Action]struct{}),
-		nextAt:  math.Inf(-1),
+		eng:   eng,
+		pf:    pf,
+		cfg:   cfg,
+		sys:   maxmin.NewSystem(),
+		cpus:  make(map[string]*resource),
+		links: make(map[string]*resource),
 	}
+	m.sys.SetWorkers(cfg.SolverWorkers)
 	for _, h := range pf.Hosts() {
 		r := &resource{
 			name:    h.Name,
@@ -436,6 +445,7 @@ func (m *Model) Execute(hostName string, flops, priority float64) (*Action, erro
 		name:      fmt.Sprintf("exec@%s", hostName),
 		remaining: flops,
 		priority:  priority,
+		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
 	if !r.on {
@@ -450,7 +460,7 @@ func (m *Model) Execute(hostName string, flops, priority float64) (*Action, erro
 	a.resources = []*resource{r}
 	a.lastSync = a.start
 	a.refreshEstimate(a.start)
-	m.actions[a] = struct{}{}
+	m.heap.push(a)
 	return a, nil
 }
 
@@ -524,6 +534,7 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 		name:      fmt.Sprintf("comm %s->%s", src, dst),
 		remaining: bytes,
 		priority:  1,
+		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
 	a.latUntil = a.start + lat
@@ -569,7 +580,7 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	}
 	a.lastSync = a.start
 	a.refreshEstimate(a.start)
-	m.actions[a] = struct{}{}
+	m.heap.push(a)
 	return a, nil
 }
 
@@ -591,6 +602,7 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		name:      fmt.Sprintf("ptask(%d hosts)", len(hosts)),
 		remaining: 1,
 		priority:  1,
+		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
 	a.v = m.sys.NewVariable(1, 0)
@@ -660,20 +672,20 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	}
 	a.lastSync = a.start
 	a.refreshEstimate(a.start)
-	m.actions[a] = struct{}{}
+	m.heap.push(a)
 	return a, nil
 }
 
 const eps = 1e-9
 
-// refresh re-solves the MaxMin system if needed and re-integrates the
+// refresh re-solves the MaxMin system if needed, re-integrates the
 // progress of exactly the actions whose allocation changed (the
-// partial-solve result reported by maxmin.System.Updated); every other
-// action keeps its remaining-work sync point and absolute completion
-// estimate. Reports whether a solve happened.
-func (m *Model) refresh() bool {
+// partial-solve result reported by maxmin.System.Updated), and re-keys
+// them in the event heap; every other action keeps its remaining-work
+// sync point, absolute completion estimate and heap position.
+func (m *Model) refresh() {
 	if !m.sys.Dirty() {
-		return false
+		return
 	}
 	m.sys.Solve()
 	now := m.eng.Now()
@@ -684,51 +696,50 @@ func (m *Model) refresh() bool {
 		}
 		if a.latUntil > 0 {
 			// No work is performed while the latency is paid; the
-			// estimate is rebuilt when the bandwidth phase starts.
+			// estimate is rebuilt (and the action re-keyed) when the
+			// bandwidth phase starts.
 			a.rate = v.Value()
 			continue
 		}
 		a.syncProgress(now)
 		a.rate = v.Value()
 		a.refreshEstimate(now)
+		m.heap.fix(a.heapIdx)
 	}
-	return true
 }
 
-// NextEventTime implements core.Model.
+// NextEventTime implements core.Model: a heap peek, O(1) after the
+// incremental refresh.
 func (m *Model) NextEventTime(now float64) float64 {
 	m.refresh()
-	next := math.Inf(1)
-	for a := range m.actions {
-		t := a.estFinish
-		if a.latUntil > 0 {
-			t = a.latUntil // suspended/starved estimates are +Inf
-		}
-		if t < next {
-			next = t
-		}
+	if len(m.heap) == 0 {
+		return math.Inf(1)
 	}
-	m.nextAt = next
-	return next
+	return m.heap[0].eventKey()
 }
 
-// AdvanceTo implements core.Model.
+// AdvanceTo implements core.Model. Progress bookkeeping is lazy
+// (absolute completion estimates), so only the actions with an event
+// due at t are popped off the heap — O(log n) each — and every other
+// action is left untouched; a step that completes nothing costs one
+// heap peek.
 func (m *Model) AdvanceTo(now, t float64) {
-	solved := m.refresh()
-	// Progress bookkeeping is lazy (absolute completion estimates), so
-	// when the step ends before this model's earliest pending event
-	// there is nothing to integrate or complete. m.nextAt is valid here
-	// because the engine calls NextEventTime immediately before
-	// AdvanceTo with nothing in between (see core.Model); the refresh
-	// above re-solving anyway disables the early exit as a guard.
-	if !solved && t+1e-9+1e-12*(1+t) < m.nextAt {
-		return
-	}
+	m.refresh()
 	finished := m.finBuf[:0]
-	for a := range m.actions {
-		if a.latUntil > 0 {
+	repush := m.repushBuf[:0]
+	// Pop every action whose event falls within the completion slack of
+	// t. The slack absorbs the clock's float64 resolution (otherwise
+	// the engine would spin on a next-event time that rounds to now);
+	// borderline actions popped but not yet due are re-pushed below.
+	for len(m.heap) > 0 && m.heap[0].eventKey() <= t+eps+1e-12*(1+t) {
+		a := m.heap.popMin()
+		switch {
+		case a.latUntil > 0:
 			if t >= a.latUntil-eps {
-				// Latency paid: enter the bandwidth-sharing phase.
+				// Latency paid: enter the bandwidth-sharing phase. The
+				// action is never completed in the same step (its first
+				// bandwidth-phase estimate is only solved next round),
+				// so it always goes back on the heap.
 				a.latUntil = 0
 				a.lastSync = t
 				a.refreshEstimate(t)
@@ -736,14 +747,15 @@ func (m *Model) AdvanceTo(now, t float64) {
 					m.sys.SetWeight(a.v, a.effWeight())
 				}
 			}
-			continue
-		}
-		// Complete when the absolute estimate is reached, with a slack
-		// absorbing the clock's float64 resolution (otherwise the
-		// engine would spin on a next-event time that rounds to now).
-		if a.estFinish <= t+1e-12*(1+t) {
+			repush = append(repush, a)
+		case a.estFinish <= t+1e-12*(1+t):
 			finished = append(finished, a)
+		default:
+			repush = append(repush, a)
 		}
+	}
+	for _, a := range repush {
+		m.heap.push(a)
 	}
 	// Deterministic completion order (by start time then name).
 	sortActions(finished)
@@ -756,6 +768,10 @@ func (m *Model) AdvanceTo(now, t float64) {
 		finished[i] = nil // release completed actions for the collector
 	}
 	m.finBuf = finished[:0]
+	for i := range repush {
+		repush[i] = nil
+	}
+	m.repushBuf = repush[:0]
 }
 
 func sortActions(actions []*Action) {
@@ -785,7 +801,9 @@ func (m *Model) complete(a *Action, err error) {
 		m.sys.RemoveVariable(a.v)
 		a.v = nil
 	}
-	delete(m.actions, a)
+	if a.heapIdx >= 0 {
+		m.heap.remove(a.heapIdx)
+	}
 	if a.waiter != nil {
 		w := a.waiter
 		a.waiter = nil
@@ -808,7 +826,7 @@ func (m *Model) setResourceState(r *resource, up bool) {
 	m.sys.SetCapacity(r.cnst, r.effectiveCapacity())
 	if !up {
 		var victims []*Action
-		for a := range m.actions {
+		for _, a := range m.heap {
 			for _, ar := range a.resources {
 				if ar == r {
 					victims = append(victims, a)
