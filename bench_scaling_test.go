@@ -52,7 +52,7 @@ func msgScalingPlatform(b *testing.B, nPairs int, stagger bool) *platform.Platfo
 // concurrent.
 func runMSGScaling(b *testing.B, pf *platform.Platform, nPairs, rounds int) {
 	b.Helper()
-	env := buildScalingEnv(b, pf, nPairs, rounds, false, true)
+	env := buildScalingEnv(b, pf, nPairs, rounds, true, surf.DefaultConfig())
 	if err := env.Run(); err != nil {
 		b.Fatal(err)
 	}
@@ -97,8 +97,12 @@ func BenchmarkMSGScalingParallelSolve(b *testing.B) {
 	pf := msgScalingPlatform(b, pairs, false)
 	for _, mode := range []string{"sequential", "parallel"} {
 		b.Run(mode, func(b *testing.B) {
+			cfg := surf.DefaultConfig()
+			if mode == "sequential" {
+				cfg.SolverWorkers = 1
+			}
 			for i := 0; i < b.N; i++ {
-				env := buildScalingEnv(b, pf, pairs, rounds, mode == "sequential", false)
+				env := buildScalingEnv(b, pf, pairs, rounds, false, cfg)
 				if err := env.Run(); err != nil {
 					b.Fatal(err)
 				}
@@ -108,12 +112,48 @@ func BenchmarkMSGScalingParallelSolve(b *testing.B) {
 	}
 }
 
-func buildScalingEnv(b *testing.B, pf *platform.Platform, nPairs, rounds int, sequential, stagger bool) *msg.Environment {
-	b.Helper()
-	cfg := surf.DefaultConfig()
-	if sequential {
-		cfg.SolverWorkers = 1
+// BenchmarkMSGScalingLockstep is the same-instant completion workload:
+// every pair is identical, so each round's transfers (and then each
+// round's computes) all finish at the exact same virtual time — the
+// worst case for per-completion event processing. `batched` uses the
+// equal-key bulk-pop of the action heap plus the contiguous wake sweep;
+// `per-completion` (Config.SequentialCompletions) pops and wakes one
+// action at a time. Both paths produce the identical event order
+// (TestLockstepBatchedEquivalence); only the cost differs.
+func BenchmarkMSGScalingLockstep(b *testing.B) {
+	cases := []struct {
+		name   string
+		pairs  int
+		rounds int
+	}{
+		{"pairs-500", 500, 10},
+		{"pairs-5000", 5000, 10},
 	}
+	for _, c := range cases {
+		for _, mode := range []string{"batched", "per-completion"} {
+			activities := 2 * c.pairs * c.rounds
+			b.Run(fmt.Sprintf("%s/%s", c.name, mode), func(b *testing.B) {
+				if testing.Short() && activities > 20000 {
+					b.Skipf("skipping %d activities under -short", activities)
+				}
+				pf := msgScalingPlatform(b, c.pairs, false)
+				cfg := surf.DefaultConfig()
+				cfg.SequentialCompletions = mode == "per-completion"
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					env := buildScalingEnv(b, pf, c.pairs, c.rounds, false, cfg)
+					if err := env.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*activities), "ns/activity")
+			})
+		}
+	}
+}
+
+func buildScalingEnv(b *testing.B, pf *platform.Platform, nPairs, rounds int, stagger bool, cfg surf.Config) *msg.Environment {
+	b.Helper()
 	env := msg.NewEnvironment(pf, cfg)
 	const channel = 1
 	for i := 0; i < nPairs; i++ {

@@ -5,10 +5,13 @@
 // Each simulated process runs in its own goroutine (the paper's
 // "processes in a single address space"; goroutines map naturally onto
 // SimGrid's ucontexts). The kernel enforces strictly one-at-a-time
-// execution with a channel ping-pong: the engine resumes a process and
-// waits for it to yield back before touching simulation state again.
-// This makes runs deterministic and keeps all simulation state free of
-// locks.
+// execution with a kernel token passed by direct handoff: a parking
+// process wakes the next runnable goroutine itself (one channel
+// synchronization per activation) and the engine goroutine only runs
+// between rounds, to advance virtual time. This makes runs
+// deterministic and keeps all simulation state free of locks. Processes
+// enter the kernel through typed simcalls (see simcall.go), several of
+// which are answered inline without any handoff at all.
 //
 // Resource models (package surf) plug into the engine through the Model
 // interface: the engine asks every model for its next completion time,
@@ -75,6 +78,9 @@ var ErrLinkFailed = errors.New("core: link failed")
 type DeadlockError struct {
 	// Blocked lists the names of the processes stuck in a simcall.
 	Blocked []string
+	// Calls lists the typed simcall each blocked process is stuck in,
+	// aligned with Blocked.
+	Calls []SimcallKind
 }
 
 func (e *DeadlockError) Error() string {
@@ -89,7 +95,10 @@ type killedSignal struct{}
 //
 // The engine contract: on every scheduling round, NextEventTime is
 // called on each model (after all runnable processes and due timers
-// have run) before the clock advances. AdvanceTo is then invoked — with
+// have run) before the clock advances. It must be a pure query — the
+// engine may additionally poll it mid-round (fast-path eligibility
+// checks such as a zero sleep), so repeated calls at the same instant
+// must be idempotent. AdvanceTo is then invoked — with
 // no intervening process, timer, or model activity — but ONLY on the
 // models whose reported next event time has been reached: a model that
 // answered a time beyond the new clock value is skipped entirely for
@@ -120,8 +129,9 @@ type Process struct {
 	engine *Engine
 	fn     func(*Process)
 
-	resume  chan error // kernel -> process (value: wake error)
+	resume  chan error // per-process handoff (value: wake error)
 	state   State
+	call    SimcallKind // simcall the process is blocked in
 	wakeErr error
 
 	killed      bool
@@ -235,18 +245,22 @@ type Engine struct {
 	now     float64
 	procs   map[int]*Process
 	runQ    []*Process
-	yieldCh chan *Process
+	runHead int           // drain cursor into runQ (in-place queue reuse)
+	schedCh chan struct{} // wakes the engine loop when a round is over
 	timers  timerHeap
 	models  []Model
 	nextPID int
 	nextSeq int64
 	current *Process
+	stats   SimcallStats
 
 	modelNext []float64 // per-model next event time, filled each round
 	live      int       // non-daemon processes not yet Done
 	liveAll   int       // all processes not yet Done
 	fatal     error
 	running   bool
+	stopErr   error // deadlock error recorded by the kernel turn
+	draining  bool  // shutdown drain: parkers must not advance time
 
 	// MaxTime, when > 0, stops the simulation at that virtual time even
 	// if activities remain (useful for steady-state measurements).
@@ -257,7 +271,7 @@ type Engine struct {
 func New() *Engine {
 	return &Engine{
 		procs:   make(map[int]*Process),
-		yieldCh: make(chan *Process),
+		schedCh: make(chan struct{}),
 		nextPID: 1,
 	}
 }
@@ -338,7 +352,9 @@ func (e *Engine) Spawn(name string, host any, fn func(*Process)) *Process {
 			p.err = err
 		}
 		e.terminate(p)
-		e.yieldCh <- p
+		// The dying goroutine passes the kernel token on itself before
+		// exiting (self is nil: a Done process is never re-scheduled).
+		e.releaseToken(nil)
 	}()
 
 	p.state = Runnable
@@ -378,7 +394,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 func (e *Engine) After(d float64, fn func()) *Timer { return e.At(e.now+d, fn) }
 
 // Wake makes a Waiting process runnable again, delivering err as the
-// result of its pending Block call. Waking a suspended process defers
+// result of its pending simcall. Waking a suspended process defers
 // delivery until Resume. Waking a non-waiting process is a no-op.
 func (e *Engine) Wake(p *Process, err error) {
 	if p.state != Waiting {
@@ -394,46 +410,24 @@ func (e *Engine) Wake(p *Process, err error) {
 	e.runQ = append(e.runQ, p)
 }
 
-// Block yields the calling process until the kernel wakes it (action
-// completion, timer, Wake). It returns the error passed to Wake. If the
-// process was killed while blocked, Block unwinds the stack (running
-// defers) instead of returning.
-func (p *Process) Block() error {
-	if p.engine.current != p {
-		panic("core: Block called outside the running process")
+// WakeAll wakes every process in ps with the same error in one
+// bookkeeping pass: the run queue is grown once and the waiters are
+// appended contiguously, so k same-instant completions cost a single
+// scheduling sweep instead of k interleaved wake/scan cycles. Resource
+// models batching same-instant completions (surf.Model.AdvanceTo) use
+// this for their waiters.
+func (e *Engine) WakeAll(ps []*Process, err error) {
+	if len(ps) == 0 {
+		return
 	}
-	p.state = Waiting
-	p.engine.yieldCh <- p
-	err := <-p.resume
-	p.state = Running
-	if p.killed {
-		panic(killedSignal{})
+	if need := len(e.runQ) + len(ps); cap(e.runQ) < need {
+		grown := make([]*Process, len(e.runQ), need)
+		copy(grown, e.runQ)
+		e.runQ = grown
 	}
-	return err
-}
-
-// Yield gives other runnable processes a chance to run at the current
-// virtual time, then resumes.
-func (p *Process) Yield() {
-	e := p.engine
-	p.state = Runnable
-	e.runQ = append(e.runQ, p)
-	e.yieldCh <- p
-	<-p.resume
-	p.state = Running
-	if p.killed {
-		panic(killedSignal{})
+	for _, p := range ps {
+		e.Wake(p, err)
 	}
-}
-
-// Sleep blocks the process for d virtual seconds.
-func (p *Process) Sleep(d float64) error {
-	if d < 0 {
-		d = 0
-	}
-	e := p.engine
-	e.At(e.now+d, func() { e.Wake(p, nil) })
-	return p.Block()
 }
 
 // Kill forcibly terminates the target process. A process killing itself
@@ -451,11 +445,16 @@ func (p *Process) Kill() {
 	switch p.state {
 	case Waiting:
 		p.suspended = false
+		// Drop any wake that arrived while the process was suspended: a
+		// stale pending error must not shadow ErrKilled if the victim
+		// is touched by Resume before it is drained.
+		p.pendingWake = nil
 		p.wakeErr = ErrKilled
 		p.state = Runnable
 		e.runQ = append(e.runQ, p)
 	case Created:
 		// Not yet started: schedule so the goroutine can terminate.
+		p.pendingWake = nil
 		p.wakeErr = ErrKilled
 		p.state = Runnable
 		e.runQ = append(e.runQ, p)
@@ -476,7 +475,7 @@ func (p *Process) Suspend() {
 	}
 	if p.engine.current == p {
 		p.selfSuspend = true
-		_ = p.Block()
+		_ = p.blockOn(SimcallSuspend)
 		p.selfSuspend = false
 	}
 }
@@ -510,44 +509,49 @@ func (p *Process) Suspended() bool { return p.suspended }
 // shutdown, remaining daemons are discarded. Run returns a
 // *DeadlockError if blocked non-daemon processes can never progress, or
 // the panic error of a crashing process.
+//
+// The engine goroutine only seeds the first dispatch: from then on the
+// kernel token travels with whichever goroutine is active, and the
+// kernel turn — clock advance, timer firing, model completions — runs
+// on the stack of the last process to park in each round. Run regains
+// control once per simulation, when it has ended.
 func (e *Engine) Run() error {
 	if e.running {
 		return errors.New("core: engine already running")
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	e.stopErr = nil
 
+	if e.dispatch(nil) == dispatchNext || e.kernelTurn(nil) == dispatchNext {
+		<-e.schedCh // the token is out; wait for the simulation to end
+	}
+	if e.fatal != nil {
+		return e.fatal
+	}
+	if e.stopErr != nil {
+		return e.stopErr
+	}
+	e.shutdownDaemons()
+	if e.fatal != nil {
+		return e.fatal
+	}
+	return nil
+}
+
+// kernelTurn advances the simulation while holding the kernel token
+// and the run queue is empty: it finds the next event, advances the
+// clock, completes due model actions, fires due timers, and dispatches
+// the processes that woke. self is the process whose goroutine runs
+// the turn (nil in the engine goroutine). It returns dispatchNext as
+// soon as control was handed to another process goroutine,
+// dispatchSelf when the turn woke its own carrier (which then just
+// keeps running), and dispatchNone when the simulation ended (the
+// caller then owns the token and must return it to Run).
+func (e *Engine) kernelTurn(self *Process) dispatchResult {
 	for {
-		// Phase 1: run every runnable process to its next simcall. The
-		// queue is drained in place (head index) so its backing array is
-		// reused across scheduling rounds instead of being re-sliced
-		// away and re-allocated on every wake.
-		for head := 0; head < len(e.runQ) && e.fatal == nil; head++ {
-			p := e.runQ[head]
-			e.runQ[head] = nil // release the reference for the collector
-			if p.state == Done {
-				continue
-			}
-			if p.suspended && !p.killed {
-				// Park: keep it Waiting until Resume.
-				p.state = Waiting
-				ec := p.wakeErr
-				p.pendingWake = &ec
-				continue
-			}
-			e.current = p
-			p.state = Running
-			p.resume <- p.wakeErr
-			<-e.yieldCh
-			e.current = nil
-		}
-		e.runQ = e.runQ[:0]
-		if e.fatal != nil {
-			return e.fatal
-		}
-		if e.live <= 0 {
-			e.shutdownDaemons()
-			return nil
+		if e.fatal != nil || e.live <= 0 {
+			return dispatchNone
 		}
 
 		// Phase 2: find the next event. Each model's answer is kept so
@@ -572,17 +576,19 @@ func (e *Engine) Run() error {
 		}
 		if math.IsInf(next, 1) {
 			var blocked []string
+			var calls []SimcallKind
 			for _, p := range e.Processes() {
 				if !p.daemon {
 					blocked = append(blocked, p.name)
+					calls = append(calls, p.call)
 				}
 			}
-			return &DeadlockError{Blocked: blocked}
+			e.stopErr = &DeadlockError{Blocked: blocked, Calls: calls}
+			return dispatchNone
 		}
 		if e.MaxTime > 0 && next > e.MaxTime {
 			e.now = e.MaxTime
-			e.shutdownDaemons()
-			return nil
+			return dispatchNone
 		}
 
 		// Phase 3: advance the clock and fire everything due at `next`.
@@ -605,33 +611,33 @@ func (e *Engine) Run() error {
 				tm.fn()
 			}
 		}
+
+		// Phase 1 of the next round: hand control to the first woken
+		// process; its dispatch chain continues the round.
+		if r := e.dispatch(self); r != dispatchNone {
+			return r
+		}
 	}
 }
 
 // shutdownDaemons kills all remaining (daemon) processes so their defers
-// and exit hooks run.
+// and exit hooks run. The drain round must not advance virtual time, so
+// parkers hand the token straight back instead of running kernel turns.
 func (e *Engine) shutdownDaemons() {
+	e.draining = true
 	for _, p := range e.Processes() {
 		p.killed = true
 		switch p.state {
 		case Waiting, Created:
 			p.suspended = false
+			p.pendingWake = nil
 			p.wakeErr = ErrKilled
 			p.state = Runnable
 			e.runQ = append(e.runQ, p)
 		}
 	}
-	for head := 0; head < len(e.runQ); head++ {
-		p := e.runQ[head]
-		e.runQ[head] = nil
-		if p.state == Done {
-			continue
-		}
-		e.current = p
-		p.state = Running
-		p.resume <- p.wakeErr
-		<-e.yieldCh
-		e.current = nil
+	if e.dispatch(nil) == dispatchNext {
+		<-e.schedCh
 	}
-	e.runQ = e.runQ[:0]
+	e.draining = false
 }

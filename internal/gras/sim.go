@@ -274,7 +274,7 @@ func (n *simNode) recvRaw(msgType string, timeout float64) (*inMsg, error) {
 			}
 		})
 	}
-	err := n.proc.Block()
+	err := n.proc.BlockOn(core.SimcallRecv)
 	if timer != nil {
 		timer.Cancel()
 	}

@@ -336,7 +336,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	}
 
 	p.ganttBegin(gantt.Comm, task.Name)
-	err := p.cp.Block()
+	err := p.cp.BlockOn(core.SimcallSend)
 	p.ganttEndNow()
 	if timer != nil {
 		timer.Cancel()
@@ -382,7 +382,7 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	}
 
 	p.ganttBegin(gantt.Wait, "recv")
-	err := p.cp.Block()
+	err := p.cp.BlockOn(core.SimcallRecv)
 	p.ganttEndNow()
 	if timer != nil {
 		timer.Cancel()

@@ -208,7 +208,7 @@ func (r *Rank) Send(dst, tag int, data any, bytes float64) error {
 		if err := w.startTransfer(ps, pr, dst); err != nil {
 			return err
 		}
-		return r.proc.Block()
+		return r.proc.BlockOn(core.SimcallSend)
 	}
 	w.sendQ[key] = append(w.sendQ[key], ps)
 	if bytes <= EagerThreshold {
@@ -231,7 +231,7 @@ func (r *Rank) Send(dst, tag int, data any, bytes float64) error {
 			w.eng.Wake(ps.proc, cerr)
 		})
 	}
-	return r.proc.Block()
+	return r.proc.BlockOn(core.SimcallSend)
 }
 
 // Recv receives data from a rank (MPI_Recv); src may be AnySource.
@@ -275,7 +275,7 @@ func (r *Rank) Recv(src, tag int) (any, int, error) {
 		key := chanKey{src: src, dst: r.rank, tag: tag}
 		w.recvQ[key] = append(w.recvQ[key], pr)
 	}
-	if err := r.proc.Block(); err != nil {
+	if err := r.proc.BlockOn(core.SimcallRecv); err != nil {
 		return nil, 0, err
 	}
 	return pr.data, pr.src, nil

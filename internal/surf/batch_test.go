@@ -1,0 +1,299 @@
+package surf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// TestActionHeapBulkOps fuzzes collectDue / removeBatch / bulkPush
+// against linear-scan models of the same operations, checking the heap
+// invariant and index bookkeeping after every step.
+func TestActionHeapBulkOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h actionHeap
+	live := map[*Action]bool{}
+	check := func() {
+		t.Helper()
+		if len(h) != len(live) {
+			t.Fatalf("heap has %d entries, want %d", len(h), len(live))
+		}
+		for i, a := range h {
+			if a.heapIdx != i {
+				t.Fatalf("heap[%d].heapIdx = %d", i, a.heapIdx)
+			}
+			if !live[a] {
+				t.Fatalf("heap[%d] is not a live action", i)
+			}
+			if i > 0 {
+				if p := (i - 1) / 2; h[p].eventKey() > h[i].eventKey() {
+					t.Fatalf("heap invariant broken at %d", i)
+				}
+			}
+		}
+	}
+	var dueBuf []*Action
+	var idxBuf []int
+	for op := 0; op < 400; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4 || len(h) == 0: // bulk push a batch
+			k := 1 + rng.Intn(40)
+			batch := make([]*Action, k)
+			for i := range batch {
+				batch[i] = &Action{heapIdx: -1, estFinish: rng.Float64() * 100}
+				live[batch[i]] = true
+			}
+			h.bulkPush(batch)
+		case r < 8: // collect + remove everything due below a threshold
+			maxKey := rng.Float64() * 100
+			want := map[*Action]bool{}
+			for a := range live {
+				if a.eventKey() <= maxKey {
+					want[a] = true
+				}
+			}
+			dueBuf, idxBuf = h.collectDue(maxKey, dueBuf[:0], idxBuf)
+			if len(dueBuf) != len(want) {
+				t.Fatalf("collectDue(%g) found %d actions, linear scan %d", maxKey, len(dueBuf), len(want))
+			}
+			for _, a := range dueBuf {
+				if !want[a] {
+					t.Fatalf("collectDue returned non-due action (key %g > %g)", a.eventKey(), maxKey)
+				}
+			}
+			h.removeBatch(dueBuf)
+			for _, a := range dueBuf {
+				if a.heapIdx != -1 {
+					t.Fatalf("removed action still has heapIdx %d", a.heapIdx)
+				}
+				delete(live, a)
+			}
+		default: // single remove
+			i := rng.Intn(len(h))
+			a := h[i]
+			h.remove(i)
+			delete(live, a)
+		}
+		check()
+	}
+}
+
+// BenchmarkActionHeapLockstep isolates the event-machinery cost the
+// equal-key bulk-pop removes: k actions due at the same instant inside
+// a heap of n. Each iteration extracts the due run and re-inserts it
+// (steady state). `batched` = collectDue + removeBatch + bulkPush —
+// O(n) compaction/heapify when the run is large; `per-pop` = k
+// individual popMin/push pairs — O(k log n). The full-stack lock-step
+// benchmark (BenchmarkMSGScalingLockstep) shows how much of an MSG
+// step this machinery is; this one shows the machinery alone.
+func BenchmarkActionHeapLockstep(b *testing.B) {
+	cases := []struct {
+		name string
+		n, k int
+	}{
+		{"n100k-all-due", 100_000, 100_000},
+		{"n100k-half-due", 100_000, 50_000},
+		{"n100k-10k-due", 100_000, 10_000},
+	}
+	for _, c := range cases {
+		build := func() (actionHeap, float64) {
+			rng := rand.New(rand.NewSource(11))
+			var h actionHeap
+			const dueKey = 1.0
+			for i := 0; i < c.k; i++ {
+				h.push(&Action{heapIdx: -1, estFinish: dueKey})
+			}
+			for i := c.k; i < c.n; i++ {
+				h.push(&Action{heapIdx: -1, estFinish: 2 + rng.Float64()*100})
+			}
+			return h, dueKey
+		}
+		b.Run(c.name+"/batched", func(b *testing.B) {
+			h, dueKey := build()
+			var due []*Action
+			var stack []int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				due, stack = h.collectDue(dueKey, due[:0], stack)
+				if len(due) != c.k {
+					b.Fatalf("collected %d, want %d", len(due), c.k)
+				}
+				h.removeBatch(due)
+				h.bulkPush(due)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*c.k), "ns/action")
+		})
+		b.Run(c.name+"/per-pop", func(b *testing.B) {
+			h, dueKey := build()
+			due := make([]*Action, 0, c.k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				due = due[:0]
+				for len(h) > 0 && h[0].eventKey() <= dueKey {
+					due = append(due, h.popMin())
+				}
+				if len(due) != c.k {
+					b.Fatalf("popped %d, want %d", len(due), c.k)
+				}
+				for _, a := range due {
+					h.push(a)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*c.k), "ns/action")
+		})
+	}
+}
+
+// lockstepModel builds nPairs identical disjoint sender/receiver pairs:
+// every transfer and compute completes at the same instant, the
+// workload class the equal-key bulk-pop and batched wake target.
+func lockstepPlatform(t testing.TB, nPairs int) *platform.Platform {
+	t.Helper()
+	pf := platform.New()
+	for i := 0; i < nPairs; i++ {
+		src, dst := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		if err := pf.AddHost(&platform.Host{Name: src, Power: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.AddHost(&platform.Host{Name: dst, Power: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+		l := &platform.Link{Name: fmt.Sprintf("l%d", i), Bandwidth: 1e8, Latency: 1e-4}
+		if err := pf.AddRoute(src, dst, []*platform.Link{l}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pf
+}
+
+// runLockstep drives rounds of simultaneous transfers + computes and
+// returns the completion log (time, action name) in wake order.
+func runLockstep(t *testing.T, cfg Config, nPairs, rounds int) []string {
+	t.Helper()
+	pf := lockstepPlatform(t, nPairs)
+	eng := core.New()
+	m := New(eng, pf, cfg)
+	var log []string
+	for i := 0; i < nPairs; i++ {
+		src, dst := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		eng.Spawn(fmt.Sprintf("p%d", i), nil, func(p *core.Process) {
+			for r := 0; r < rounds; r++ {
+				a, err := m.Communicate(src, dst, 1e5)
+				if err != nil {
+					t.Errorf("Communicate: %v", err)
+					return
+				}
+				if err := a.Wait(p); err != nil {
+					t.Errorf("comm wait: %v", err)
+					return
+				}
+				log = append(log, fmt.Sprintf("%.9g %s", eng.Now(), a.Name()))
+				b, err := m.Execute(src, 1e6, 1)
+				if err != nil {
+					t.Errorf("Execute: %v", err)
+					return
+				}
+				if err := b.Wait(p); err != nil {
+					t.Errorf("exec wait: %v", err)
+					return
+				}
+				log = append(log, fmt.Sprintf("%.9g %s", eng.Now(), b.Name()))
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return log
+}
+
+// TestLockstepBatchedEquivalence asserts that the batched same-instant
+// completion path (equal-key bulk-pop + one contiguous wake sweep) and
+// the sequential per-completion path produce the identical completion
+// log: same times, same actions, same wake order.
+func TestLockstepBatchedEquivalence(t *testing.T) {
+	base := DefaultConfig()
+	seq := base
+	seq.SequentialCompletions = true
+	batched := runLockstep(t, base, 60, 4)
+	sequential := runLockstep(t, seq, 60, 4)
+	if len(batched) != len(sequential) {
+		t.Fatalf("batched log has %d events, sequential %d", len(batched), len(sequential))
+	}
+	for i := range batched {
+		if batched[i] != sequential[i] {
+			t.Fatalf("event %d differs:\n  batched:    %s\n  sequential: %s", i, batched[i], sequential[i])
+		}
+	}
+	if len(batched) != 60*4*2 {
+		t.Fatalf("completion log has %d events, want %d", len(batched), 60*4*2)
+	}
+}
+
+// TestSleepZeroSettlesDueCompletions pins the fast-path guard against
+// model events: a zero-work action is due at the current instant, so
+// Sleep(0) must still run a kernel round (completing it) instead of
+// returning inline — the pre-refactor "let this instant settle"
+// barrier semantics.
+func TestSleepZeroSettlesDueCompletions(t *testing.T) {
+	pf := lockstepPlatform(t, 1)
+	eng := core.New()
+	m := New(eng, pf, DefaultConfig())
+	eng.Spawn("p", nil, func(p *core.Process) {
+		a, err := m.Execute("s0", 0, 1) // zero work: due immediately
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		if err := p.Sleep(0); err != nil {
+			t.Errorf("Sleep(0): %v", err)
+			return
+		}
+		if !a.Done() {
+			t.Error("zero-work action not completed across Sleep(0)")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestCompletedActionWaitFastPath: waiting on an action that already
+// finished is answered inline — zero channel round trips, visible in
+// the kernel's fast-path counter.
+func TestCompletedActionWaitFastPath(t *testing.T) {
+	pf := lockstepPlatform(t, 1)
+	eng := core.New()
+	m := New(eng, pf, DefaultConfig())
+	eng.Spawn("p", nil, func(p *core.Process) {
+		a, err := m.Execute("s0", 1e6, 1)
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		if err := p.Sleep(10); err != nil { // far beyond the action's finish
+			t.Errorf("Sleep: %v", err)
+			return
+		}
+		if done, _ := a.Test(p); !done {
+			t.Error("action not done after 10s")
+		}
+		before := eng.SimcallStats()
+		if err := a.Wait(p); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		after := eng.SimcallStats()
+		if after.Fast != before.Fast+1 {
+			t.Errorf("Fast went %d -> %d, want +1 (completed-action wait)", before.Fast, after.Fast)
+		}
+		if after.Slow != before.Slow {
+			t.Errorf("Slow went %d -> %d, want unchanged", before.Slow, after.Slow)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

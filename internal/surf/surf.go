@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/maxmin"
@@ -63,6 +64,12 @@ type Config struct {
 	// sequential solve, 0 uses GOMAXPROCS. Small solve scopes are
 	// always sequential regardless.
 	SolverWorkers int
+	// SequentialCompletions disables the batched same-instant
+	// completion path in AdvanceTo (equal-key bulk-pop of the event
+	// heap plus one contiguous wake sweep) and processes completions
+	// one heap pop at a time instead. Debug/benchmark knob: the two
+	// paths complete the same actions in the same order.
+	SequentialCompletions bool
 }
 
 // DefaultConfig returns the model defaults (CM02-flavoured).
@@ -128,6 +135,7 @@ type Action struct {
 
 	start  float64
 	finish float64
+	seq    int64 // creation order, the final completion-sort tie-break
 
 	waiter     *core.Process
 	onComplete func(err error)
@@ -196,18 +204,30 @@ func (a *Action) Start() float64 { return a.start }
 // Finish returns the virtual completion time (valid once Done).
 func (a *Action) Finish() float64 { return a.finish }
 
+// Poll implements core.Activity: completion state and outcome, read
+// without blocking. An already-completed action is the kernel's
+// fast path — its waiter never yields.
+func (a *Action) Poll() (bool, error) { return a.done, a.err }
+
+// Attach implements core.Activity: it registers the process the model
+// wakes when the action completes.
+func (a *Action) Attach(p *core.Process) { a.waiter = p }
+
 // Wait blocks the calling process until the action completes and
-// returns its outcome. Only one process may wait on an action.
+// returns its outcome — the typed wait-activity simcall. An action
+// that already completed is answered inline, with no scheduler round
+// trip. Only one process may wait on an action.
 func (a *Action) Wait(p *core.Process) error {
-	if a.done {
-		return a.err
-	}
-	if a.waiter != nil {
+	if a.waiter != nil && !a.done {
 		return fmt.Errorf("surf: action %q already has a waiter", a.name)
 	}
-	a.waiter = p
-	return p.Block()
+	return p.WaitActivity(a)
 }
+
+// Test reports whether the action completed (and its outcome) without
+// ever blocking — a non-blocking fast-path simcall (MSG_task_test /
+// MPI_Test flavour).
+func (a *Action) Test(p *core.Process) (bool, error) { return p.TestActivity(a) }
 
 // SetOnComplete registers a callback invoked in kernel context when the
 // action finishes (err nil on success). Layers needing to wake several
@@ -310,8 +330,17 @@ type Model struct {
 	// change. NextEventTime peeks it; AdvanceTo pops only due actions.
 	heap actionHeap
 
-	finBuf    []*Action // scratch for AdvanceTo's completion sweep
-	repushBuf []*Action // scratch for AdvanceTo's re-keyed actions
+	finBuf    []*Action       // scratch for AdvanceTo's completion sweep
+	repushBuf []*Action       // scratch for AdvanceTo's re-keyed actions
+	dueBuf    []*Action       // scratch for the equal-key bulk collect
+	idxBuf    []int           // scratch DFS stack for collectDue
+	waiterBuf []*core.Process // scratch for the batched wake sweep
+
+	// seqCompletions forces the one-pop-at-a-time completion path
+	// (Config.SequentialCompletions, benchmark/debug only).
+	seqCompletions bool
+
+	nextSeq int64 // action creation counter (completion-sort tie-break)
 
 	// OnHostStateChange is invoked (in kernel context) when a host
 	// turns off or on via its state trace; upper layers use it to kill
@@ -337,6 +366,7 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 		links: make(map[string]*resource),
 	}
 	m.sys.SetWorkers(cfg.SolverWorkers)
+	m.seqCompletions = cfg.SequentialCompletions
 	for _, h := range pf.Hosts() {
 		r := &resource{
 			name:    h.Name,
@@ -442,12 +472,14 @@ func (m *Model) Execute(hostName string, flops, priority float64) (*Action, erro
 	a := &Action{
 		model:     m,
 		kind:      ActionCompute,
-		name:      fmt.Sprintf("exec@%s", hostName),
+		name:      "exec@" + hostName,
 		remaining: flops,
 		priority:  priority,
 		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
+	a.seq = m.nextSeq
+	m.nextSeq++
 	if !r.on {
 		a.done = true
 		a.err = ErrHostFailed
@@ -531,12 +563,14 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	a := &Action{
 		model:     m,
 		kind:      ActionComm,
-		name:      fmt.Sprintf("comm %s->%s", src, dst),
+		name:      "comm " + src + "->" + dst,
 		remaining: bytes,
 		priority:  1,
 		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
+	a.seq = m.nextSeq
+	m.nextSeq++
 	a.latUntil = a.start + lat
 	if m.cfg.TCPGamma > 0 && lat > 0 {
 		a.bound = m.cfg.TCPGamma / (2 * route.Latency())
@@ -605,6 +639,8 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		heapIdx:   -1,
 		start:     m.eng.Now(),
 	}
+	a.seq = m.nextSeq
+	m.nextSeq++
 	a.v = m.sys.NewVariable(1, 0)
 	a.v.Data = a
 	seen := make(map[*resource]bool)
@@ -720,50 +756,41 @@ func (m *Model) NextEventTime(now float64) float64 {
 
 // AdvanceTo implements core.Model. Progress bookkeeping is lazy
 // (absolute completion estimates), so only the actions with an event
-// due at t are popped off the heap — O(log n) each — and every other
-// action is left untouched; a step that completes nothing costs one
-// heap peek.
+// due at t are touched and every other action keeps its heap position;
+// a step that completes nothing costs one heap peek.
+//
+// Same-instant events are processed as one batch: the due run is
+// collected off the heap with a pruned DFS (equal keys are a
+// parent-closed prefix, so no per-pop sift), removed in a single
+// compaction+heapify when the run is large, and the finished actions'
+// waiters are enqueued contiguously in one scheduling sweep
+// (Engine.WakeAll) — k lock-step completions cost one bookkeeping pass
+// instead of k interleaved pop/wake cycles.
 func (m *Model) AdvanceTo(now, t float64) {
 	m.refresh()
+	// The slack absorbs the clock's float64 resolution (otherwise the
+	// engine would spin on a next-event time that rounds to now);
+	// borderline actions collected but not yet due are re-pushed below.
+	maxKey := t + eps + 1e-12*(1+t)
+	if m.seqCompletions {
+		m.advanceSequential(t, maxKey)
+		return
+	}
+	due, stack := m.heap.collectDue(maxKey, m.dueBuf[:0], m.idxBuf)
+	m.idxBuf = stack
+	if len(due) == 0 {
+		return
+	}
+	m.heap.removeBatch(due)
 	finished := m.finBuf[:0]
 	repush := m.repushBuf[:0]
-	// Pop every action whose event falls within the completion slack of
-	// t. The slack absorbs the clock's float64 resolution (otherwise
-	// the engine would spin on a next-event time that rounds to now);
-	// borderline actions popped but not yet due are re-pushed below.
-	for len(m.heap) > 0 && m.heap[0].eventKey() <= t+eps+1e-12*(1+t) {
-		a := m.heap.popMin()
-		switch {
-		case a.latUntil > 0:
-			if t >= a.latUntil-eps {
-				// Latency paid: enter the bandwidth-sharing phase. The
-				// action is never completed in the same step (its first
-				// bandwidth-phase estimate is only solved next round),
-				// so it always goes back on the heap.
-				a.latUntil = 0
-				a.lastSync = t
-				a.refreshEstimate(t)
-				if !a.suspended {
-					m.sys.SetWeight(a.v, a.effWeight())
-				}
-			}
-			repush = append(repush, a)
-		case a.estFinish <= t+1e-12*(1+t):
-			finished = append(finished, a)
-		default:
-			repush = append(repush, a)
-		}
+	for _, a := range due {
+		finished, repush = m.classifyDue(a, t, finished, repush)
 	}
-	for _, a := range repush {
-		m.heap.push(a)
-	}
+	m.heap.bulkPush(repush)
 	// Deterministic completion order (by start time then name).
 	sortActions(finished)
-	for _, a := range finished {
-		a.remaining = 0
-		a.lastSync = t
-		m.complete(a, nil)
-	}
+	m.completeBatch(finished, t)
 	for i := range finished {
 		finished[i] = nil // release completed actions for the collector
 	}
@@ -772,14 +799,152 @@ func (m *Model) AdvanceTo(now, t float64) {
 		repush[i] = nil
 	}
 	m.repushBuf = repush[:0]
+	for i := range due {
+		due[i] = nil
+	}
+	m.dueBuf = due[:0]
+}
+
+// classifyDue routes one due action: a latency-phase action whose
+// latency is paid enters the bandwidth-sharing phase re-keyed (it is
+// never completed in the same step — its first bandwidth-phase
+// estimate is only solved next round — so it always goes back on the
+// heap), a finished action joins the completion set, and a borderline
+// action collected within the float-resolution slack but not yet due
+// goes back untouched. Shared by the batched and sequential paths so
+// the two cannot drift apart.
+func (m *Model) classifyDue(a *Action, t float64, finished, repush []*Action) (fin, rep []*Action) {
+	switch {
+	case a.latUntil > 0:
+		if t >= a.latUntil-eps {
+			a.latUntil = 0
+			a.lastSync = t
+			a.refreshEstimate(t)
+			if !a.suspended {
+				m.sys.SetWeight(a.v, a.effWeight())
+			}
+		}
+		repush = append(repush, a)
+	case a.estFinish <= t+1e-12*(1+t):
+		finished = append(finished, a)
+	default:
+		repush = append(repush, a)
+	}
+	return finished, repush
+}
+
+// advanceSequential is the pre-batching completion path: one heap pop
+// and one wake cycle per due action (Config.SequentialCompletions).
+func (m *Model) advanceSequential(t, maxKey float64) {
+	finished := m.finBuf[:0]
+	repush := m.repushBuf[:0]
+	for len(m.heap) > 0 && m.heap[0].eventKey() <= maxKey {
+		finished, repush = m.classifyDue(m.heap.popMin(), t, finished, repush)
+	}
+	for _, a := range repush {
+		m.heap.push(a)
+	}
+	sortActions(finished)
+	for _, a := range finished {
+		a.remaining = 0
+		a.lastSync = t
+		m.complete(a, nil)
+	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	m.finBuf = finished[:0]
+	for i := range repush {
+		repush[i] = nil
+	}
+	m.repushBuf = repush[:0]
+}
+
+// completeBatch finishes every action in finished (success). A batch
+// with no completion callbacks — the common case for direct waiters —
+// is one bookkeeping sweep (variables released, heap entries dropped)
+// followed by a single contiguous run-queue append (Engine.WakeAll);
+// per-action wake order equals slice order, so it matches the
+// sequential path exactly. As soon as any action carries an
+// onComplete callback, the whole batch defers to the per-action
+// complete() path instead: callbacks may observe — or cancel —
+// sibling actions finishing at the same instant, and must see exactly
+// the intermediate state the sequential path would give them
+// (TestLockstepBatchedEquivalence pins the pure-waiter equivalence).
+func (m *Model) completeBatch(finished []*Action, t float64) {
+	if len(finished) == 0 {
+		return
+	}
+	hasCallbacks := false
+	for _, a := range finished {
+		if a.onComplete != nil {
+			hasCallbacks = true
+			break
+		}
+	}
+	if hasCallbacks {
+		for _, a := range finished {
+			a.remaining = 0
+			a.lastSync = t
+			m.complete(a, nil)
+		}
+		return
+	}
+	waiters := m.waiterBuf[:0]
+	for _, a := range finished {
+		if a.done {
+			continue
+		}
+		a.remaining = 0
+		a.lastSync = t
+		a.done = true
+		a.finish = t
+		if a.v != nil {
+			m.sys.RemoveVariable(a.v)
+			a.v = nil
+		}
+		if a.heapIdx >= 0 {
+			m.heap.remove(a.heapIdx)
+		}
+		if a.waiter != nil {
+			waiters = append(waiters, a.waiter)
+			a.waiter = nil
+		}
+	}
+	m.eng.WakeAll(waiters, nil)
+	for i := range waiters {
+		waiters[i] = nil
+	}
+	m.waiterBuf = waiters[:0]
+}
+
+// actionLess is the deterministic completion order: start time, then
+// name, then creation sequence. The final tie-break makes the order
+// total, so it is independent of how the due set was gathered (heap
+// pops vs bulk collect) and of sort stability.
+func actionLess(x, y *Action) bool {
+	if x.start != y.start {
+		return x.start < y.start
+	}
+	if x.name != y.name {
+		return x.name < y.name
+	}
+	return x.seq < y.seq
 }
 
 func sortActions(actions []*Action) {
+	if len(actions) > 32 {
+		// Lock-step steps finish thousands of actions at once; the
+		// small-batch insertion sort would be quadratic there.
+		sort.Slice(actions, func(i, j int) bool {
+			return actionLess(actions[i], actions[j])
+		})
+		return
+	}
 	for i := 1; i < len(actions); i++ {
 		for j := i; j > 0; j-- {
-			x, y := actions[j], actions[j-1]
-			if x.start < y.start || (x.start == y.start && x.name < y.name) {
-				actions[j], actions[j-1] = y, x
+			if actionLess(actions[j], actions[j-1]) {
+				actions[j], actions[j-1] = actions[j-1], actions[j]
 			} else {
 				break
 			}
