@@ -4,7 +4,11 @@
 // receive waits. Concurrent transfers share the network links, so the
 // communications visibly stretch when they interfere.
 //
-//	go run ./cmd/ganttgen [-width 100]
+// With -dag the chart switches to the SimDag view: a seeded random
+// workflow scheduled by min-min, one row per host, each span labeled
+// with its task name.
+//
+//	go run ./cmd/ganttgen [-width 100] [-dag [-seed 3]]
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"repro/internal/gantt"
 	"repro/internal/msg"
 	"repro/internal/platform"
+	"repro/internal/simdag"
 	"repro/internal/surf"
 )
 
@@ -27,7 +32,14 @@ const (
 func main() {
 	width := flag.Int("width", 100, "chart width in columns")
 	rounds := flag.Int("rounds", 3, "requests per client")
+	dag := flag.Bool("dag", false, "render a SimDag workflow schedule instead (one row per host)")
+	seed := flag.Int64("seed", 3, "seed for the -dag workflow and platform")
 	flag.Parse()
+
+	if *dag {
+		renderDAG(*width, *seed)
+		return
+	}
 
 	// The poster's platform: clients behind a hub, servers across a
 	// router — a shared backbone all transfers compete on.
@@ -107,6 +119,32 @@ func main() {
 		fmt.Printf("  %-9s compute %6.3f   comm %6.3f   wait %6.3f\n",
 			tr, tot[gantt.Compute], tot[gantt.Comm], tot[gantt.Wait])
 	}
+}
+
+// renderDAG draws the SimDag schedule view: a seeded random workflow,
+// min-min placed on a seeded Waxman platform, one Gantt row per host
+// with task-name labels inside the spans.
+func renderDAG(width int, seed int64) {
+	pf, err := platform.GenerateWaxman(platform.DefaultWaxmanConfig(5, seed))
+	must(err)
+	sim := simdag.New(pf, surf.DefaultConfig())
+	sim.Gantt = &gantt.Recorder{}
+	tasks, err := simdag.RandomLayered(sim, simdag.DefaultRandomConfig(6, 6, seed+1))
+	must(err)
+	var hosts []string
+	for _, h := range pf.Hosts() {
+		hosts = append(hosts, h.Name)
+	}
+	must(simdag.ScheduleMinMin(sim, hosts))
+	_, err = sim.Simulate()
+	must(err)
+
+	fmt.Printf("SimDag schedule: %d tasks min-min-placed on %d hosts "+
+		"(makespan %.3f s, %d goroutines spawned)\n",
+		len(tasks), len(hosts), sim.Makespan(), sim.Engine().Spawned())
+	fmt.Println("dark (#): computation   light (=): communication   labels: task names")
+	fmt.Println()
+	must(sim.Gantt.RenderLabeled(os.Stdout, width))
 }
 
 func must(err error) {

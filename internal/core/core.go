@@ -199,7 +199,10 @@ type timer struct {
 }
 
 // Timer handles a scheduled callback; Cancel prevents it from firing.
-type Timer struct{ t *timer }
+type Timer struct {
+	t   *timer
+	eng *Engine
+}
 
 // Cancel prevents the timer from firing. Safe to call multiple times.
 func (t *Timer) Cancel() {
@@ -210,6 +213,28 @@ func (t *Timer) Cancel() {
 
 // Time returns the absolute simulated time the timer fires at.
 func (t *Timer) Time() float64 { return t.t.at }
+
+// Rearm reschedules the timer at absolute time `at` (clamped to the
+// current time if in the past), reusing the same timer and callback: a
+// fired or canceled timer is pushed back into the event set, a still
+// pending one is moved. Periodic drivers (trace events) re-arm one
+// timer from inside its own callback instead of allocating a fresh
+// closure-carrying timer per event.
+func (t *Timer) Rearm(at float64) {
+	tm, e := t.t, t.eng
+	if at < e.now {
+		at = e.now
+	}
+	tm.at = at
+	tm.seq = e.nextSeq
+	e.nextSeq++
+	tm.canceled = false
+	if tm.index >= 0 {
+		heap.Fix(&e.timers, tm.index)
+		return
+	}
+	heap.Push(&e.timers, tm)
+}
 
 type timerHeap []*timer
 
@@ -234,6 +259,7 @@ func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)
 	t := old[n-1]
+	t.index = -1 // out of the heap: Rearm must re-push, not Fix
 	old[n-1] = nil
 	*h = old[:n-1]
 	return t
@@ -261,6 +287,8 @@ type Engine struct {
 	running   bool
 	stopErr   error // deadlock error recorded by the kernel turn
 	draining  bool  // shutdown drain: parkers must not advance time
+	idleDrive bool  // RunUntilIdle: no live-process requirement, quiescence ends the run
+	stopReq   bool  // Stop was called: the drive loop returns at the next round
 
 	// MaxTime, when > 0, stops the simulation at that virtual time even
 	// if activities remain (useful for steady-state measurements).
@@ -387,7 +415,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 	tm := &timer{at: t, seq: e.nextSeq, fn: fn}
 	e.nextSeq++
 	heap.Push(&e.timers, tm)
-	return &Timer{t: tm}
+	return &Timer{t: tm, eng: e}
 }
 
 // After schedules fn to run d seconds from now.
@@ -522,6 +550,7 @@ func (e *Engine) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 	e.stopErr = nil
+	e.stopReq = false
 
 	if e.dispatch(nil) == dispatchNext || e.kernelTurn(nil) == dispatchNext {
 		<-e.schedCh // the token is out; wait for the simulation to end
@@ -539,6 +568,48 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// RunUntilIdle drives the kernel without requiring any live process:
+// model events and timers fire, and any process that does wake is
+// scheduled, until nothing remains to simulate (or MaxTime is reached,
+// or Stop is called). This is the drive loop for purely kernel-level
+// workloads — DAG task graphs (package simdag) attach surf actions
+// directly, so a simulation of any size spawns zero goroutines.
+// Unlike Run, quiescence with pending activities never started is not a
+// deadlock: the caller owns the notion of completeness. RunUntilIdle
+// may be called repeatedly; each call resumes from the current state.
+func (e *Engine) RunUntilIdle() error {
+	if e.running {
+		return errors.New("core: engine already running")
+	}
+	e.running = true
+	e.idleDrive = true
+	defer func() { e.running = false; e.idleDrive = false }()
+	e.stopErr = nil
+	e.stopReq = false
+
+	if e.dispatch(nil) == dispatchNext || e.kernelTurn(nil) == dispatchNext {
+		<-e.schedCh // the token is out; wait for the drive to end
+	}
+	e.stopReq = false
+	if e.fatal != nil {
+		return e.fatal
+	}
+	return e.stopErr
+}
+
+// Stop requests the drive loop to return before its next scheduling
+// round. It is the kernel half of watch points: a completion callback
+// (e.g. a watched DAG task finishing) calls Stop and RunUntilIdle
+// returns once the current instant has settled, leaving the remaining
+// events scheduled — a later RunUntilIdle resumes exactly where the
+// simulation stopped. Calling Stop outside a run is a no-op for the
+// next run (Run and RunUntilIdle clear it on entry).
+func (e *Engine) Stop() { e.stopReq = true }
+
+// Spawned returns the number of processes ever spawned on this engine.
+// Kernel-driven workloads (simdag) assert it stays zero.
+func (e *Engine) Spawned() int { return e.nextPID - 1 }
+
 // kernelTurn advances the simulation while holding the kernel token
 // and the run queue is empty: it finds the next event, advances the
 // clock, completes due model actions, fires due timers, and dispatches
@@ -550,7 +621,7 @@ func (e *Engine) Run() error {
 // caller then owns the token and must return it to Run).
 func (e *Engine) kernelTurn(self *Process) dispatchResult {
 	for {
-		if e.fatal != nil || e.live <= 0 {
+		if e.fatal != nil || e.stopReq || (!e.idleDrive && e.live <= 0) {
 			return dispatchNone
 		}
 
@@ -575,6 +646,12 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 			next = e.timers[0].at
 		}
 		if math.IsInf(next, 1) {
+			if e.idleDrive {
+				// Quiescence is the normal end of an idle drive: nothing
+				// left to simulate, whether or not activities never
+				// started (the caller inspects its own task states).
+				return dispatchNone
+			}
 			var blocked []string
 			var calls []SimcallKind
 			for _, p := range e.Processes() {

@@ -167,6 +167,17 @@ func (r *Recorder) TotalByKind(track string) map[Kind]float64 {
 // columns of timeline. Later intervals overdraw earlier ones; Compute
 // overdraws Comm overdraws Wait within the same cell.
 func (r *Recorder) Render(w io.Writer, width int) error {
+	return r.render(w, width, false)
+}
+
+// RenderLabeled is Render with each span carrying its (truncated)
+// label text over the fill glyphs — the DAG-view: one row per host,
+// task names readable in place.
+func (r *Recorder) RenderLabeled(w io.Writer, width int) error {
+	return r.render(w, width, true)
+}
+
+func (r *Recorder) render(w io.Writer, width int, labeled bool) error {
 	if width < 10 {
 		width = 10
 	}
@@ -217,6 +228,13 @@ func (r *Recorder) Render(w io.Writer, width int) error {
 			for i := c0; i < c1 && i < width; i++ {
 				if prec(g) >= prec(row[i]) {
 					row[i] = g
+				}
+			}
+			if labeled && iv.Label != "" && c1-c0 >= 2 {
+				// Overlay the label, truncated to the span, leaving the
+				// first cell as the kind glyph so the fill stays legible.
+				for i, j := c0+1, 0; i < c1-1 && i < width && j < len(iv.Label); i, j = i+1, j+1 {
+					row[i] = iv.Label[j]
 				}
 			}
 		}

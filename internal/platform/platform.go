@@ -88,19 +88,30 @@ type Link struct {
 	Data any
 }
 
-// Route is an ordered list of links joining two hosts.
+// Route is an ordered list of links joining two hosts. Routes returned
+// by Platform.Route are cached and shared between callers: treat them
+// as immutable.
 type Route struct {
 	Src, Dst string
 	Links    []*Link
+
+	lat      float64 // memoized Latency (routes are immutable once built)
+	latKnown bool
 }
 
-// Latency returns the sum of link latencies along the route.
+// Latency returns the sum of link latencies along the route, memoized
+// on first call (comm-heavy workloads query it several times per
+// transfer on the same cached route).
 func (r *Route) Latency() float64 {
-	sum := 0.0
-	for _, l := range r.Links {
-		sum += l.Latency
+	if !r.latKnown {
+		sum := 0.0
+		for _, l := range r.Links {
+			sum += l.Latency
+		}
+		r.lat = sum
+		r.latKnown = true
 	}
-	return sum
+	return r.lat
 }
 
 // Bottleneck returns the smallest link bandwidth along the route.
@@ -144,6 +155,15 @@ type Platform struct {
 	edges   []edge
 	routes  map[[2]string][]*Link
 	hops    map[[2]string][]Hop
+
+	// routeCache memoizes the *Route values handed out by Route: route
+	// and mailbox map lookups are ~10% of a million-activity profile,
+	// and every comm re-allocated its Route before the cache. The cache
+	// is valid for generation cacheGen only; any topology mutation bumps
+	// gen, so the next lookup rebuilds lazily.
+	routeCache map[[2]string]*Route
+	cacheGen   uint64
+	gen        uint64
 }
 
 // New returns an empty platform.
@@ -179,6 +199,7 @@ func (p *Platform) AddHost(h *Host) error {
 		return fmt.Errorf("%w: node %q already a router", ErrDuplicate, h.Name)
 	}
 	p.hosts[h.Name] = h
+	p.gen++
 	return nil
 }
 
@@ -191,6 +212,7 @@ func (p *Platform) AddRouter(name string) error {
 		return fmt.Errorf("%w: router %q", ErrDuplicate, name)
 	}
 	p.routers[name] = true
+	p.gen++
 	return nil
 }
 
@@ -210,6 +232,7 @@ func (p *Platform) AddLink(l *Link) error {
 		return fmt.Errorf("%w: link %q", ErrDuplicate, l.Name)
 	}
 	p.links[l.Name] = l
+	p.gen++
 	return nil
 }
 
@@ -228,6 +251,7 @@ func (p *Platform) Connect(a, b string, l *Link) error {
 		}
 	}
 	p.edges = append(p.edges, edge{a: a, b: b, link: l})
+	p.gen++
 	return nil
 }
 
@@ -259,6 +283,7 @@ func (p *Platform) AddRoute(src, dst string, links []*Link) error {
 		rev[len(links)-1-i] = l
 	}
 	p.routes[[2]string{dst, src}] = rev
+	p.gen++
 	return nil
 }
 
@@ -300,6 +325,11 @@ func (p *Platform) Routers() []string {
 
 // Route returns the route between two hosts. A host communicates with
 // itself over an empty route (intra-host messaging costs only latency 0).
+// Results are memoized per ordered pair behind a generation counter:
+// repeated lookups — every transfer between the same hosts — return the
+// same *Route with no allocation, and any topology mutation (AddRoute,
+// Connect, ComputeRoutes, …) invalidates the whole cache at once. The
+// returned route is shared: callers must not mutate it.
 func (p *Platform) Route(src, dst string) (*Route, error) {
 	if _, ok := p.hosts[src]; !ok {
 		return nil, fmt.Errorf("%w: host %q", ErrUnknown, src)
@@ -307,14 +337,24 @@ func (p *Platform) Route(src, dst string) (*Route, error) {
 	if _, ok := p.hosts[dst]; !ok {
 		return nil, fmt.Errorf("%w: host %q", ErrUnknown, dst)
 	}
-	if src == dst {
-		return &Route{Src: src, Dst: dst}, nil
+	if p.routeCache == nil || p.cacheGen != p.gen {
+		p.routeCache = make(map[[2]string]*Route)
+		p.cacheGen = p.gen
 	}
-	links, ok := p.routes[[2]string{src, dst}]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q -> %q", ErrNoRoute, src, dst)
+	key := [2]string{src, dst}
+	if r, ok := p.routeCache[key]; ok {
+		return r, nil
 	}
-	return &Route{Src: src, Dst: dst, Links: links}, nil
+	r := &Route{Src: src, Dst: dst}
+	if src != dst {
+		links, ok := p.routes[key]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q -> %q", ErrNoRoute, src, dst)
+		}
+		r.Links = links
+	}
+	p.routeCache[key] = r
+	return r, nil
 }
 
 // ComputeRoutes fills the routing table for every host pair using
@@ -404,6 +444,7 @@ func (p *Platform) ComputeRoutes() error {
 			p.hops[[2]string{a, b}] = hops
 		}
 	}
+	p.gen++
 	return nil
 }
 

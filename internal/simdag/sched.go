@@ -1,0 +1,232 @@
+// Reference list schedulers. They only assign placements — execution
+// stays with the simulation kernel — so they are interchangeable and a
+// natural extension point for scheduling research (the SimDag use case
+// in the paper). Both are deterministic: tasks are considered in
+// creation order and hosts in the given order, with strict-improvement
+// tie-breaks.
+package simdag
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScheduleRoundRobin assigns unplaced compute tasks to hosts
+// round-robin in creation order, then wires comm tasks between their
+// neighbours' placements (see placeComms). The cheap baseline — and
+// the right choice when the DAG is huge and placement quality is not
+// the question (benchmarks).
+func ScheduleRoundRobin(s *Simulation, hosts []string) error {
+	if len(hosts) == 0 {
+		return fmt.Errorf("simdag: no hosts to schedule on")
+	}
+	i := 0
+	for _, t := range s.tasks {
+		if t.kind != Compute || t.state != NotScheduled {
+			continue
+		}
+		if err := t.Schedule(hosts[i%len(hosts)]); err != nil {
+			return err
+		}
+		i++
+	}
+	return placeComms(s)
+}
+
+// ScheduleMinMin is the classic min-min list-scheduling heuristic over
+// a heterogeneous platform: repeatedly pick, among the compute tasks
+// whose predecessors are all resolved, the (task, host) pair with the
+// globally minimal estimated completion time, and commit it. Transfer
+// costs are estimated from the platform routes (latency + bytes over
+// the bottleneck bandwidth) for comm tasks directly feeding the
+// candidate; the estimates only steer placement — the simulation
+// itself runs the real contention model.
+func ScheduleMinMin(s *Simulation, hosts []string) error {
+	if len(hosts) == 0 {
+		return fmt.Errorf("simdag: no hosts to schedule on")
+	}
+	// estOf recurses over predecessors: reject cycles up front instead
+	// of overflowing the stack on a malformed graph.
+	if err := s.checkCycles(); err != nil {
+		return err
+	}
+	power := make(map[string]float64, len(hosts))
+	avail := make(map[string]float64, len(hosts))
+	for _, h := range hosts {
+		ph := s.pf.Host(h)
+		if ph == nil {
+			return fmt.Errorf("simdag: unknown host %q", h)
+		}
+		power[h] = ph.Power
+	}
+
+	estFin := make(map[*Task]float64)
+	// estOf resolves a predecessor's estimated finish: a compute task's
+	// committed estimate (or, for tasks placed outside this call —
+	// pre-scheduled or already running after a watch point — the
+	// recursive estimate on its assigned host), the max over
+	// predecessors for Seq and Comm tasks (a comm's own wire time is
+	// added per candidate host by the caller, where the destination is
+	// known). Results are memoized per round — the memo is reset after
+	// each placement — so diamond-shaped graphs stay polynomial.
+	type memoEntry struct {
+		v  float64
+		ok bool
+	}
+	memo := make(map[*Task]memoEntry)
+	var estOf func(t *Task) (float64, bool)
+	estOf = func(t *Task) (float64, bool) {
+		if t.terminal() {
+			return t.finish, true
+		}
+		if v, ok := estFin[t]; ok {
+			return v, true
+		}
+		if m, ok := memo[t]; ok {
+			return m.v, m.ok
+		}
+		var v float64
+		ok := true
+		if t.kind == Compute && t.host == "" {
+			ok = false // not placed: the task is not resolvable yet
+		} else {
+			for _, p := range t.preds {
+				pv, pok := estOf(p)
+				if !pok {
+					ok = false
+					break
+				}
+				if pv > v {
+					v = pv
+				}
+			}
+			if ok && t.kind == Compute {
+				v += t.amount / s.pf.Host(t.host).Power
+			}
+		}
+		memo[t] = memoEntry{v, ok}
+		return v, ok
+	}
+
+	// commCost estimates moving `bytes` from src to dst.
+	commCost := func(src, dst string, bytes float64) float64 {
+		if src == dst || src == "" {
+			return 0
+		}
+		route, err := s.pf.Route(src, dst)
+		if err != nil || len(route.Links) == 0 {
+			return 0
+		}
+		return route.Latency() + bytes/route.Bottleneck()
+	}
+
+	var pending []*Task
+	for _, t := range s.tasks {
+		if t.kind == Compute && t.state == NotScheduled {
+			pending = append(pending, t)
+		}
+	}
+	for len(pending) > 0 {
+		bestECT := math.Inf(1)
+		bestIdx, bestHost := -1, ""
+		for idx, t := range pending {
+			// Earliest the task's inputs can be complete, excluding the
+			// final wire hop of direct comm predecessors (host-dependent).
+			eligible := true
+			base := 0.0
+			for _, p := range t.preds {
+				v, ok := estOf(p)
+				if !ok {
+					eligible = false
+					break
+				}
+				if p.kind != Comm && v > base {
+					base = v
+				}
+			}
+			if !eligible {
+				continue
+			}
+			for _, h := range hosts {
+				arrive := base
+				for _, p := range t.preds {
+					if p.kind != Comm {
+						continue
+					}
+					v, _ := estOf(p)
+					v += commCost(commSrcHost(p), h, p.amount)
+					if v > arrive {
+						arrive = v
+					}
+				}
+				start := arrive
+				if a := avail[h]; a > start {
+					start = a
+				}
+				ect := start + t.amount/power[h]
+				if ect < bestECT {
+					bestECT, bestIdx, bestHost = ect, idx, h
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return fmt.Errorf("simdag: %d compute tasks unschedulable (dangling dependencies)", len(pending))
+		}
+		t := pending[bestIdx]
+		if err := t.Schedule(bestHost); err != nil {
+			return err
+		}
+		estFin[t] = bestECT
+		avail[bestHost] = bestECT
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+		// The placement may have made downstream tasks resolvable: drop
+		// the round's memo (committed estimates live in estFin).
+		memo = make(map[*Task]memoEntry)
+	}
+	return placeComms(s)
+}
+
+// commSrcHost returns the placement of a comm task's producing compute
+// predecessor ("" when there is none yet).
+func commSrcHost(c *Task) string {
+	for _, p := range c.preds {
+		if p.kind == Compute && p.host != "" {
+			return p.host
+		}
+	}
+	return ""
+}
+
+// placeComms assigns every unplaced comm task's endpoints from its
+// placed compute neighbours: source from the producing predecessor,
+// destination from the consuming successor. A missing producer
+// (stage-in data) collapses onto the destination; a missing consumer
+// onto the source — both model a free local touch.
+func placeComms(s *Simulation) error {
+	for _, t := range s.tasks {
+		if t.kind != Comm || t.state != NotScheduled {
+			continue
+		}
+		src := commSrcHost(t)
+		dst := ""
+		for _, p := range t.succs {
+			if p.kind == Compute && p.host != "" {
+				dst = p.host
+				break
+			}
+		}
+		if src == "" {
+			src = dst
+		}
+		if dst == "" {
+			dst = src
+		}
+		if src == "" {
+			return fmt.Errorf("simdag: comm task %q has no placed compute neighbour", t.name)
+		}
+		if err := t.ScheduleComm(src, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -336,6 +336,13 @@ type Model struct {
 	idxBuf    []int           // scratch DFS stack for collectDue
 	waiterBuf []*core.Process // scratch for the batched wake sweep
 
+	// resPool recycles the resources slices of completed actions: at
+	// 100k+ activities the per-action []*resource is a measurable share
+	// of the allocation churn (ROADMAP's "allocation pressure at scale").
+	// Slices are reset (pointers cleared) when returned, capped so a
+	// single fat ptask slice does not pin memory forever.
+	resPool [][]*resource
+
 	// seqCompletions forces the one-pop-at-a-time completion path
 	// (Config.SequentialCompletions, benchmark/debug only).
 	seqCompletions bool
@@ -489,7 +496,7 @@ func (m *Model) Execute(hostName string, flops, priority float64) (*Action, erro
 	a.v = m.sys.NewVariable(priority, 0)
 	a.v.Data = a
 	m.sys.Expand(r.cnst, a.v, 1)
-	a.resources = []*resource{r}
+	a.resources = append(m.grabResources(), r)
 	a.lastSync = a.start
 	a.refreshEstimate(a.start)
 	m.heap.push(a)
@@ -600,6 +607,7 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	}
 	a.v = m.sys.NewVariable(w, a.bound)
 	a.v.Data = a
+	a.resources = m.grabResources()
 	for _, r := range rs {
 		if !r.on {
 			a.done = true
@@ -607,6 +615,7 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 			a.finish = a.start
 			m.sys.RemoveVariable(a.v)
 			a.v = nil
+			m.releaseResources(a)
 			return a, nil
 		}
 		m.sys.Expand(r.cnst, a.v, 1)
@@ -643,6 +652,7 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	m.nextSeq++
 	a.v = m.sys.NewVariable(1, 0)
 	a.v.Data = a
+	a.resources = m.grabResources()
 	seen := make(map[*resource]bool)
 	use := func(r *resource, amount float64) error {
 		if !r.on {
@@ -661,13 +671,21 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		a.done = true
 		a.err = err
 		a.finish = a.start
+		m.releaseResources(a)
 		return a, nil
+	}
+	// reject unwinds a validation error: unlike abort, no action is
+	// handed out, but the variable and pooled slice still come back.
+	reject := func(err error) (*Action, error) {
+		m.sys.RemoveVariable(a.v)
+		a.v = nil
+		m.releaseResources(a)
+		return nil, err
 	}
 	for i, hn := range hosts {
 		r, ok := m.cpus[hn]
 		if !ok {
-			m.sys.RemoveVariable(a.v)
-			return nil, fmt.Errorf("surf: unknown host %q", hn)
+			return reject(fmt.Errorf("surf: unknown host %q", hn))
 		}
 		if flops[i] <= 0 {
 			continue
@@ -678,8 +696,7 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	}
 	for i := range bytes {
 		if len(bytes[i]) != len(hosts) {
-			m.sys.RemoveVariable(a.v)
-			return nil, fmt.Errorf("surf: ExecuteParallel: bytes row %d has %d entries, want %d", i, len(bytes[i]), len(hosts))
+			return reject(fmt.Errorf("surf: ExecuteParallel: bytes row %d has %d entries, want %d", i, len(bytes[i]), len(hosts)))
 		}
 		for j := range bytes[i] {
 			if i == j || bytes[i][j] <= 0 {
@@ -687,13 +704,11 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 			}
 			route, err := m.pf.Route(hosts[i], hosts[j])
 			if err != nil {
-				m.sys.RemoveVariable(a.v)
-				return nil, err
+				return reject(err)
 			}
 			rs, err := m.routeResources(hosts[i], hosts[j], route.Links)
 			if err != nil {
-				m.sys.RemoveVariable(a.v)
-				return nil, err
+				return reject(err)
 			}
 			for _, r := range rs {
 				if err := use(r, bytes[i][j]); err != nil {
@@ -713,6 +728,33 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 }
 
 const eps = 1e-9
+
+// grabResources returns an empty resources slice, reusing a pooled one
+// when available.
+func (m *Model) grabResources() []*resource {
+	if n := len(m.resPool); n > 0 {
+		s := m.resPool[n-1]
+		m.resPool[n-1] = nil
+		m.resPool = m.resPool[:n-1]
+		return s
+	}
+	return make([]*resource, 0, 4)
+}
+
+// releaseResources resets and pools a finished action's resources
+// slice. Only call once the action is final (off the heap): failure
+// propagation scans the resources of in-flight actions.
+func (m *Model) releaseResources(a *Action) {
+	s := a.resources
+	a.resources = nil
+	if cap(s) == 0 || cap(s) > 64 {
+		return // nothing to pool / fat ptask slice: let the GC have it
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	m.resPool = append(m.resPool, s[:0])
+}
 
 // refresh re-solves the MaxMin system if needed, re-integrates the
 // progress of exactly the actions whose allocation changed (the
@@ -906,6 +948,7 @@ func (m *Model) completeBatch(finished []*Action, t float64) {
 		if a.heapIdx >= 0 {
 			m.heap.remove(a.heapIdx)
 		}
+		m.releaseResources(a)
 		if a.waiter != nil {
 			waiters = append(waiters, a.waiter)
 			a.waiter = nil
@@ -969,6 +1012,7 @@ func (m *Model) complete(a *Action, err error) {
 	if a.heapIdx >= 0 {
 		m.heap.remove(a.heapIdx)
 	}
+	m.releaseResources(a)
 	if a.waiter != nil {
 		w := a.waiter
 		a.waiter = nil

@@ -1,43 +1,48 @@
 // Trace-driven dynamics: availability traces rescale resource capacity
 // over time (external load), state traces toggle resources off and on
-// (transient failures). Each trace event is armed as an engine timer
-// which, when it fires, applies the change and arms the next event —
-// so periodic traces unroll lazily and cost nothing until reached.
+// (transient failures). Each trace is driven by a single re-armable
+// engine timer carrying the trace iterator: the timer fires, applies
+// the change, pulls the next event off the iterator and re-arms itself
+// — so periodic traces unroll lazily with one timer and one closure per
+// trace for the whole run, instead of a fresh closure-carrying timer
+// per event.
 
 package surf
 
 import (
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
 // scheduleTraces arms the availability and state traces of a resource.
 func (m *Model) scheduleTraces(r *resource, avail, state *trace.Trace) {
-	if avail != nil && avail.Len() > 0 {
-		m.armAvail(r, avail.Iter(m.eng.Now()))
-	}
-	if state != nil && state.Len() > 0 {
-		m.armState(r, state.Iter(m.eng.Now()))
-	}
+	m.armTrace(avail, func(v float64) { m.setResourceAvail(r, v) })
+	m.armTrace(state, func(v float64) { m.setResourceState(r, v > 0.5) })
 }
 
-func (m *Model) armAvail(r *resource, it *trace.Iterator) {
+// armTrace drives one trace with one iterator-carrying timer. A state
+// trace's "down" event reaches setResourceState, which fails every
+// in-flight action crossing the resource — processes see ErrHostFailed
+// or ErrLinkFailed, and kernel-level DAG tasks fail with their
+// dependents cancelled (package simdag).
+func (m *Model) armTrace(tr *trace.Trace, apply func(v float64)) {
+	if tr == nil || tr.Len() == 0 {
+		return
+	}
+	it := tr.Iter(m.eng.Now())
 	ts, v, ok := it.Next()
 	if !ok {
 		return
 	}
-	m.eng.At(ts, func() {
-		m.setResourceAvail(r, v)
-		m.armAvail(r, it)
-	})
-}
-
-func (m *Model) armState(r *resource, it *trace.Iterator) {
-	ts, v, ok := it.Next()
-	if !ok {
-		return
-	}
-	m.eng.At(ts, func() {
-		m.setResourceState(r, v > 0.5)
-		m.armState(r, it)
+	pending := v
+	var tm *core.Timer
+	tm = m.eng.At(ts, func() {
+		apply(pending)
+		nts, nv, ok := it.Next()
+		if !ok {
+			return // non-periodic trace exhausted: the timer dies here
+		}
+		pending = nv
+		tm.Rearm(nts)
 	})
 }
