@@ -80,6 +80,7 @@ func BenchmarkMSGScaling(b *testing.B) {
 				b.Skipf("skipping %d activities under -short", activities)
 			}
 			pf := msgScalingPlatform(b, c.pairs, true)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				runMSGScaling(b, pf, c.pairs, c.rounds)
@@ -101,6 +102,7 @@ func BenchmarkMSGScalingParallelSolve(b *testing.B) {
 			if mode == "sequential" {
 				cfg.SolverWorkers = 1
 			}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				env := buildScalingEnv(b, pf, pairs, rounds, false, cfg)
 				if err := env.Run(); err != nil {
@@ -139,6 +141,7 @@ func BenchmarkMSGScalingLockstep(b *testing.B) {
 				pf := msgScalingPlatform(b, c.pairs, false)
 				cfg := surf.DefaultConfig()
 				cfg.SequentialCompletions = mode == "per-completion"
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					env := buildScalingEnv(b, pf, c.pairs, c.rounds, false, cfg)

@@ -46,6 +46,7 @@ func validationSetup(b *testing.B) (*platform.Platform, []validate.FlowSpec) {
 // figure (E1): one full fluid simulation of the flow set per iteration.
 func BenchmarkFigValidationFluid(b *testing.B) {
 	pf, flows := validationSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := validate.RunFluid(pf, flows, surf.DefaultConfig()); err != nil {
@@ -154,6 +155,7 @@ func BenchmarkFigGantt(b *testing.B) {
 // simulation step.
 func BenchmarkFigMaxMin(b *testing.B) {
 	b.Run("paper-illustration", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s := maxmin.NewSystem()
 			shared := s.NewConstraint(100)
@@ -166,6 +168,7 @@ func BenchmarkFigMaxMin(b *testing.B) {
 		}
 	})
 	b.Run("500flows-100links", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s := maxmin.NewSystem()
 			cnsts := make([]*maxmin.Constraint, 100)
@@ -195,9 +198,11 @@ func BenchmarkFigMaxMin(b *testing.B) {
 				mode = "full-recompute"
 			}
 			b.Run(fmt.Sprintf("churn-flows-%d/%s", n, mode), func(b *testing.B) {
+				b.ReportAllocs()
 				benchMaxMinFlowChurn(b, n, full)
 			})
 			b.Run(fmt.Sprintf("churn-compute-%d/%s", n, mode), func(b *testing.B) {
+				b.ReportAllocs()
 				benchMaxMinComputeChurn(b, n, full)
 			})
 		}
@@ -547,6 +552,7 @@ func BenchmarkAblationTCPGamma(b *testing.B) {
 // BenchmarkKernelProcessChurn measures raw kernel scheduling: spawning,
 // sleeping and terminating many simulated processes per run.
 func BenchmarkKernelProcessChurn(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := core.New()
 		for p := 0; p < 1000; p++ {
@@ -562,6 +568,7 @@ func BenchmarkKernelProcessChurn(b *testing.B) {
 // BenchmarkMSGTaskExchange measures the MSG put/get round trip through
 // the full stack (kernel + fluid model + mailboxes).
 func BenchmarkMSGTaskExchange(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pf := platform.New()
 		if err := pf.AddHost(&platform.Host{Name: "a", Power: 1e9}); err != nil {

@@ -140,6 +140,13 @@ type Process struct {
 	pendingWake *error // wake that arrived while suspended
 	daemon      bool
 
+	// sleepTm is the process's reusable sleep timer: one timer (and one
+	// wake closure) per process for its whole lifetime, re-armed on
+	// every Sleep, instead of a fresh timer allocation per call. Safe
+	// because a process has at most one pending sleep, and its timer
+	// has always fired (leaving the heap) before the next Sleep runs.
+	sleepTm *timer
+
 	// OnSuspend and OnResume, when non-nil, are invoked by
 	// Suspend/Resume so resource layers can zero / restore the sharing
 	// weight of the process's in-flight action.
@@ -220,8 +227,11 @@ func (t *Timer) Time() float64 { return t.t.at }
 // pending one is moved. Periodic drivers (trace events) re-arm one
 // timer from inside its own callback instead of allocating a fresh
 // closure-carrying timer per event.
-func (t *Timer) Rearm(at float64) {
-	tm, e := t.t, t.eng
+func (t *Timer) Rearm(at float64) { t.t.rearm(t.eng, at) }
+
+// rearm is the shared re-arm core, also used by the per-process sleep
+// timer (Process.Sleep).
+func (tm *timer) rearm(e *Engine, at float64) {
 	if at < e.now {
 		at = e.now
 	}

@@ -17,6 +17,7 @@
 //     ping-pong through a central scheduler goroutine;
 //   - diagnosable blocking: a Waiting process records which simcall it
 //     is stuck in, surfaced by Process.Simcall and DeadlockError.
+
 package core
 
 // SimcallKind identifies the typed simcall a process issues when it
@@ -296,7 +297,16 @@ func (p *Process) Sleep(d float64) error {
 		}
 		d = 0
 	}
-	e.At(e.now+d, func() { e.Wake(p, nil) })
+	// One reusable timer per process: a process has at most one pending
+	// sleep, and the previous sleep's timer has necessarily fired (and
+	// left the heap) before this call runs, so re-arming is normally a
+	// fresh push (rearm moves a still-armed timer, e.g. after an early
+	// wake). A sleep aborted by Kill leaves the timer armed; its
+	// eventual firing wakes a Done process, which is a no-op.
+	if p.sleepTm == nil {
+		p.sleepTm = &timer{index: -1, fn: func() { e.Wake(p, nil) }}
+	}
+	p.sleepTm.rearm(e, e.now+d)
 	return p.blockOn(SimcallSleep)
 }
 

@@ -2,7 +2,10 @@
 // JSON file mapping process functions to hosts, the counterpart of the
 // paper's XML deployment files used with MSG_launch_application. An
 // application registers its process functions by name; the deployment
-// file instantiates them on platform hosts with arguments.
+// file instantiates them on platform hosts with arguments. The key
+// invariant is declaration-order instantiation: processes are spawned
+// exactly in file order, so a deployment is reproducible by
+// construction.
 //
 //	{
 //	  "processes": [

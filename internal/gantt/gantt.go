@@ -2,6 +2,11 @@
 // simulation and renders them as an ASCII Gantt chart, reproducing the
 // paper's execution figure ("Dark portions denote computations, light
 // portions denote communications").
+//
+// Key invariant: the recorder is a passive observer — recording is
+// driven entirely by the layers above (msg processes, simdag tasks)
+// and never influences virtual time or scheduling, so enabling a chart
+// cannot change a simulation's outcome.
 package gantt
 
 import (

@@ -1,0 +1,15 @@
+// Package gras implements the paper's GRAS interface (Grid Reality And
+// Simulation): applications written once against the Node API run
+// unmodified either inside the simulator (simNode, over the SURF
+// network model) or over real TCP sockets (RealNode) — "the resulting
+// application is production, not prototype".
+//
+// Messages are typed (datadesc.go) and encoded by the wire formats of
+// the codec subpackage; payloads travel in the sender's representation
+// and are converted on the receiving architecture ("receiver makes it
+// right"), so heterogeneous conversion costs appear exactly where they
+// would in the real world. The key invariant is transport neutrality:
+// application code must not be able to observe (other than through
+// timing) whether it is running on the simulated or the real
+// transport.
+package gras

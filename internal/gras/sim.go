@@ -202,8 +202,10 @@ func (n *simNode) Send(s *Socket, msgType string, payload any) error {
 	if err != nil {
 		return err
 	}
-	if err := a.Wait(n.proc); err != nil {
-		return err
+	werr := a.Wait(n.proc)
+	a.Release() // the action never escapes this frame
+	if werr != nil {
+		return werr
 	}
 	m := &inMsg{frame: frame, from: n}
 	peer.deliver(m)
@@ -340,5 +342,7 @@ func (n *simNode) Bench(fn func()) (float64, error) {
 	if err != nil {
 		return dt, err
 	}
-	return dt, a.Wait(n.proc)
+	werr := a.Wait(n.proc)
+	a.Release()
+	return dt, werr
 }

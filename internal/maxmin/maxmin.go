@@ -34,7 +34,13 @@
 //
 // All per-solve bookkeeping (weighted loads, the active set, the
 // component worklist) lives in scratch slices reused across solves, so
-// a steady-state sequential re-solve performs no heap allocation.
+// a steady-state sequential re-solve performs no heap allocation. The
+// same holds for the activity churn itself: RemoveVariable scrubs and
+// free-lists the Variable and its constraint elements, and
+// NewVariable/Expand reuse them, so the add/solve/remove cycle of a
+// simulated activity is allocation-free at steady state (disable with
+// -tags=nopool; the paper counterpart is SimGrid's lmm system, and the
+// key invariant is that pooled and unpooled builds are bit-identical).
 package maxmin
 
 import (
@@ -61,10 +67,10 @@ type Variable struct {
 	// User cookie: the surf action owning this variable.
 	Data any
 
-	sys   *System
-	fixed bool
-	dirty bool   // queued in sys.dirtyVars
-	visit uint64 // component-walk generation mark
+	sys    *System
+	fixed  bool
+	dirtyQ int32  // position in sys.dirtyVars; -1 when not queued
+	visit  uint64 // component-walk generation mark
 }
 
 // elem ties a variable to a constraint with a consumption multiplier.
@@ -139,6 +145,14 @@ type System struct {
 	oldVals      []float64     // pre-solve values of solveVars, for Updated
 	updated      []*Variable
 	queue        []*Constraint // component-walk worklist
+
+	// Free lists for the activity churn (see "Object lifecycle &
+	// pooling" in DESIGN.md): RemoveVariable recycles the variable and
+	// its constraint elements, NewVariable/Expand reuse them, so the
+	// steady-state add/remove cycle of a simulated activity performs no
+	// heap allocation. Disabled under -tags=nopool.
+	varPool  []*Variable
+	elemPool []*elem
 }
 
 // NewSystem returns an empty linear MaxMin system.
@@ -160,10 +174,28 @@ func (s *System) SetWorkers(n int) {
 func (s *System) Workers() int { return s.workers }
 
 func (s *System) touchVar(v *Variable) {
-	if !v.dirty {
-		v.dirty = true
+	if v.dirtyQ < 0 {
+		v.dirtyQ = int32(len(s.dirtyVars))
 		s.dirtyVars = append(s.dirtyVars, v)
 	}
+}
+
+// dequeueVar drops a variable from the dirty queue (swap-remove,
+// fixing the moved entry's index). Removal must dequeue: a recycled
+// struct keeping its old queue slot would reseed the component walk in
+// a different order than a fresh allocation, and the pooled build must
+// stay bit-identical to the unpooled one.
+func (s *System) dequeueVar(v *Variable) {
+	if v.dirtyQ < 0 {
+		return
+	}
+	last := len(s.dirtyVars) - 1
+	moved := s.dirtyVars[last]
+	s.dirtyVars[v.dirtyQ] = moved
+	moved.dirtyQ = v.dirtyQ
+	s.dirtyVars[last] = nil
+	s.dirtyVars = s.dirtyVars[:last]
+	v.dirtyQ = -1
 }
 
 func (s *System) touchCnst(c *Constraint) {
@@ -190,13 +222,56 @@ func (s *System) NewConstraint(capacity float64) *Constraint {
 // NewVariable adds an activity with the given sharing weight and upper
 // bound (bound <= 0 means unbounded). Weight 0 makes the variable
 // inactive: it receives value 0 and consumes nothing (used for
-// suspended activities).
+// suspended activities). The returned variable may be a recycled
+// struct (see RemoveVariable) but always carries a fresh id and no
+// state beyond the given parameters.
 func (s *System) NewVariable(weight, bound float64) *Variable {
-	v := &Variable{id: s.nextVID, idx: len(s.vars), weight: weight, bound: bound, sys: s}
+	v := s.grabVariable()
+	v.id = s.nextVID
+	v.idx = len(s.vars)
+	v.weight = weight
+	v.bound = bound
+	v.sys = s
 	s.nextVID++
 	s.vars = append(s.vars, v)
 	s.touchVar(v)
 	return v
+}
+
+// grabVariable pops a recycled variable off the free list, or
+// allocates one. Pooled variables were scrubbed and dequeued by
+// RemoveVariable; only the visit generation mark may be live, and it
+// can never equal a future generation.
+func (s *System) grabVariable() *Variable {
+	if n := len(s.varPool); poolingEnabled && n > 0 {
+		v := s.varPool[n-1]
+		s.varPool[n-1] = nil
+		s.varPool = s.varPool[:n-1]
+		return v
+	}
+	return &Variable{dirtyQ: -1}
+}
+
+// grabElem pops a recycled constraint element off the free list, or
+// allocates one.
+func (s *System) grabElem() *elem {
+	if n := len(s.elemPool); poolingEnabled && n > 0 {
+		e := s.elemPool[n-1]
+		s.elemPool[n-1] = nil
+		s.elemPool = s.elemPool[:n-1]
+		return e
+	}
+	return &elem{}
+}
+
+// releaseElem scrubs a detached element and returns it to the free
+// list. The element must already be unlinked from both adjacency
+// lists.
+func (s *System) releaseElem(e *elem) {
+	*e = elem{}
+	if poolingEnabled {
+		s.elemPool = append(s.elemPool, e)
+	}
 }
 
 // Expand records that v consumes factor×value capacity on c. Expanding
@@ -214,7 +289,9 @@ func (s *System) Expand(c *Constraint, v *Variable, factor float64) {
 			return
 		}
 	}
-	e := &elem{v: v, c: c, factor: factor, vIdx: len(v.cnsts), cIdx: len(c.elems)}
+	e := s.grabElem()
+	e.v, e.c, e.factor = v, c, factor
+	e.vIdx, e.cIdx = len(v.cnsts), len(c.elems)
 	v.cnsts = append(v.cnsts, e)
 	c.elems = append(c.elems, e)
 }
@@ -242,23 +319,37 @@ func detachFromVariable(e *elem) {
 }
 
 // RemoveVariable detaches v from all its constraints and drops it from
-// the system in O(degree). v must not be used afterwards.
+// the system in O(degree). The struct (and its constraint elements)
+// are scrubbed and recycled for a future NewVariable, so v must not be
+// used afterwards — a later call on the stale pointer would act on
+// whatever activity is reusing the struct.
 func (s *System) RemoveVariable(v *Variable) {
 	if v.sys != s {
 		return
 	}
-	for _, e := range v.cnsts {
+	for i, e := range v.cnsts {
 		s.touchCnst(e.c)
 		detachFromConstraint(e)
+		s.releaseElem(e)
+		v.cnsts[i] = nil
 	}
-	v.cnsts = nil
+	v.cnsts = v.cnsts[:0] // keep the capacity for the next owner
 	last := len(s.vars) - 1
 	moved := s.vars[last]
 	s.vars[v.idx] = moved
 	moved.idx = v.idx
 	s.vars[last] = nil
 	s.vars = s.vars[:last]
+	// Dequeue, scrub everything except the visit mark, and recycle.
+	s.dequeueVar(v)
 	v.sys = nil
+	v.id, v.idx = 0, 0
+	v.weight, v.bound, v.value = 0, 0, 0
+	v.fixed = false
+	v.Data = nil
+	if poolingEnabled {
+		s.varPool = append(s.varPool, v)
+	}
 	if len(s.vars) == 0 && len(s.cnsts) == 0 {
 		// Nothing left to solve, but the books must still close.
 		s.allDirty = true
@@ -266,14 +357,17 @@ func (s *System) RemoveVariable(v *Variable) {
 }
 
 // RemoveConstraint drops c (and detaches it from all variables) in
-// O(degree).
+// O(degree). The constraint struct itself is not recycled (resources
+// live as long as their platform), but its elements are.
 func (s *System) RemoveConstraint(c *Constraint) {
 	if c.sys != s {
 		return
 	}
-	for _, e := range c.elems {
+	for i, e := range c.elems {
 		s.touchVar(e.v)
 		detachFromVariable(e)
+		s.releaseElem(e)
+		c.elems[i] = nil
 	}
 	c.elems = nil
 	last := len(s.cnsts) - 1
@@ -374,11 +468,10 @@ func (s *System) Dirty() bool {
 
 // Updated returns the variables whose allocation changed in the last
 // Solve (including variables that joined or left a re-solved
-// component). The slice is valid until the next Solve. Variables
-// removed before that Solve never appear; removing a variable after
-// it does not retroactively drop it from the slice, so callers that
-// mutate between Solve and Updated must skip detached entries
-// themselves.
+// component). The slice is valid until the next Solve, and must be
+// consumed before any RemoveVariable call: removal recycles the
+// struct, so a stale entry may later denote a different activity
+// (surf reads Updated immediately after Solve, inside one refresh).
 func (s *System) Updated() []*Variable { return s.updated }
 
 // Epsilon below which capacities/weights are treated as zero.
@@ -411,70 +504,32 @@ func (s *System) Solve() {
 // connected component containing a dirty element (or the whole system
 // when allDirty), clearing the dirty queues. Each component is laid out
 // contiguously and its ranges recorded in s.comps, so components can be
-// solved independently (and in parallel).
+// solved independently (and in parallel). The walk is expressed as
+// methods on scratch fields, not closures: collectScope runs on every
+// solve, and escaping closures here would be a per-step allocation.
 func (s *System) collectScope() {
-	sv := s.solveVars[:0]
-	sc := s.solveCnsts[:0]
-	comps := s.comps[:0]
+	s.solveVars = s.solveVars[:0]
+	s.solveCnsts = s.solveCnsts[:0]
+	s.comps = s.comps[:0]
+	s.queue = s.queue[:0]
 	s.visitGen++
-	g := s.visitGen
-	queue := s.queue[:0]
-	addC := func(c *Constraint) {
-		if c.sys == s && c.visit != g {
-			c.visit = g
-			sc = append(sc, c)
-			queue = append(queue, c)
-		}
-	}
-	addV := func(v *Variable) {
-		if v.sys == s && v.visit != g {
-			v.visit = g
-			sv = append(sv, v)
-			for _, e := range v.cnsts {
-				addC(e.c)
-			}
-		}
-	}
-	// Walk one full component from each unvisited seed before moving to
-	// the next seed, so components land contiguously in sv/sc.
-	closeComponent := func(v0, c0 int) {
-		for len(queue) > 0 {
-			c := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, e := range c.elems {
-				addV(e.v)
-			}
-		}
-		if len(sv) > v0 || len(sc) > c0 {
-			comps = append(comps, component{v0: v0, v1: len(sv), c0: c0, c1: len(sc)})
-		}
-	}
 	if s.allDirty {
 		for _, v := range s.vars {
-			v0, c0 := len(sv), len(sc)
-			addV(v)
-			closeComponent(v0, c0)
+			s.walkComponentFrom(v, nil)
 		}
 		for _, c := range s.cnsts {
-			v0, c0 := len(sv), len(sc)
-			addC(c)
-			closeComponent(v0, c0)
+			s.walkComponentFrom(nil, c)
 		}
 	} else {
 		for _, v := range s.dirtyVars {
-			v0, c0 := len(sv), len(sc)
-			addV(v)
-			closeComponent(v0, c0)
+			s.walkComponentFrom(v, nil)
 		}
 		for _, c := range s.dirtyCnsts {
-			v0, c0 := len(sv), len(sc)
-			addC(c)
-			closeComponent(v0, c0)
+			s.walkComponentFrom(nil, c)
 		}
 	}
-	s.queue = queue[:0]
 	for _, v := range s.dirtyVars {
-		v.dirty = false
+		v.dirtyQ = -1
 	}
 	for _, c := range s.dirtyCnsts {
 		c.dirty = false
@@ -482,7 +537,51 @@ func (s *System) collectScope() {
 	s.dirtyVars = s.dirtyVars[:0]
 	s.dirtyCnsts = s.dirtyCnsts[:0]
 	s.allDirty = false
-	s.solveVars, s.solveCnsts, s.comps = sv, sc, comps
+}
+
+// scopeAddC marks a constraint visited, appending it to the scope and
+// the walk worklist.
+func (s *System) scopeAddC(c *Constraint) {
+	if c.sys == s && c.visit != s.visitGen {
+		c.visit = s.visitGen
+		s.solveCnsts = append(s.solveCnsts, c)
+		s.queue = append(s.queue, c)
+	}
+}
+
+// scopeAddV marks a variable visited, appending it and queueing its
+// constraints.
+func (s *System) scopeAddV(v *Variable) {
+	if v.sys == s && v.visit != s.visitGen {
+		v.visit = s.visitGen
+		s.solveVars = append(s.solveVars, v)
+		for _, e := range v.cnsts {
+			s.scopeAddC(e.c)
+		}
+	}
+}
+
+// walkComponentFrom walks the full component of one unvisited seed
+// (variable or constraint) before returning, so components land
+// contiguously in solveVars/solveCnsts; an already-visited (or
+// detached) seed contributes nothing.
+func (s *System) walkComponentFrom(v *Variable, c *Constraint) {
+	v0, c0 := len(s.solveVars), len(s.solveCnsts)
+	if v != nil {
+		s.scopeAddV(v)
+	} else {
+		s.scopeAddC(c)
+	}
+	for len(s.queue) > 0 {
+		cc := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, e := range cc.elems {
+			s.scopeAddV(e.v)
+		}
+	}
+	if len(s.solveVars) > v0 || len(s.solveCnsts) > c0 {
+		s.comps = append(s.comps, component{v0: v0, v1: len(s.solveVars), c0: c0, c1: len(s.solveCnsts)})
+	}
 }
 
 // minParallelComponents / minParallelScopeVars gate the parallel

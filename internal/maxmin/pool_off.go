@@ -1,0 +1,9 @@
+//go:build nopool
+
+package maxmin
+
+// poolingEnabled gates the steady-state free lists. This is the
+// -tags=nopool build: every Variable and constraint element is
+// allocated fresh, the reference behaviour the pooled build must be
+// indistinguishable from.
+var poolingEnabled = false

@@ -1,0 +1,11 @@
+//go:build !nopool
+
+package maxmin
+
+// poolingEnabled gates the steady-state free lists (recycled Variable
+// structs, constraint-element structs and their adjacency slices).
+// Build with -tags=nopool to allocate everything fresh instead — the
+// reference behaviour the pool-reuse regression suite cross-checks
+// against. It is a var, not a const, so in-package tests can flip it
+// at runtime to compare both paths in one build.
+var poolingEnabled = true

@@ -13,6 +13,12 @@
 // Tasks move between processes through channels attached to hosts
 // (Put(task, host, channel) / Get(channel)), mirroring the MSG_task_put
 // / MSG_task_get API of the paper's client/server example.
+//
+// Key invariant: a Put/Get rendezvous owns exactly one pendingSend /
+// pendingRecv record and one surf transfer action, all recycled
+// through free lists on the blocking call's return — the steady-state
+// exchange loop allocates nothing (see DESIGN.md, "Object lifecycle &
+// pooling"; disable with -tags=nopool).
 package msg
 
 import (
@@ -84,6 +90,12 @@ type Environment struct {
 	mailboxes map[mailboxKey]*mailbox
 	byHost    map[string]map[*Process]bool
 
+	// Free lists for the rendezvous churn: every Put/Get cycle reuses a
+	// scrubbed pendingSend/pendingRecv instead of allocating fresh ones
+	// (disabled under -tags=nopool).
+	sendPool []*pendingSend
+	recvPool []*pendingRecv
+
 	// Gantt, when non-nil, records per-process compute/comm intervals.
 	Gantt *gantt.Recorder
 
@@ -98,6 +110,10 @@ type mailboxKey struct {
 }
 
 // pendingSend is a sender blocked in Put (or an in-flight transfer).
+// It doubles as the transfer's completion handler (surf.Completion),
+// and is recycled through the environment's free list: the sender's
+// put releases it on return, the only point where no queue entry,
+// timeout closure or receiver can still reach it.
 type pendingSend struct {
 	task     *Task
 	src      *Process
@@ -106,11 +122,29 @@ type pendingSend struct {
 	delivery *pendingRecv
 }
 
-// pendingRecv is a receiver blocked in Get.
+// pendingRecv is a receiver blocked in Get, recycled by get on return.
 type pendingRecv struct {
 	receiver *core.Process
 	task     *Task // filled in at completion
 	matched  *pendingSend
+}
+
+// ActionDone implements surf.Completion: the transfer finished (err is
+// nil on success), so hand the task over and wake both parties. The
+// cross-references are severed here: a timeout timer firing later in
+// the same instant must fall through to its queue scan (a no-op)
+// instead of touching a transfer that already ended — that is what
+// makes the put/get release points safe.
+func (ps *pendingSend) ActionDone(_ *surf.Action, cerr error) {
+	pr := ps.delivery
+	if cerr == nil {
+		pr.task = ps.task
+	}
+	eng := ps.src.env.eng
+	eng.Wake(ps.sender, cerr)
+	eng.Wake(pr.receiver, cerr)
+	pr.matched = nil
+	ps.delivery = nil
 }
 
 type mailbox struct {
@@ -283,6 +317,10 @@ func (p *Process) ExecuteWithPriority(task *Task, priority float64) error {
 	err = a.Wait(p.cp)
 	p.ganttEndNow()
 	p.exec = nil
+	// Wait only returns once the action is final, and it never escaped
+	// this frame: recycle it. (A killed process unwinds through Wait's
+	// panic instead, leaving the action to the collector.)
+	a.Release()
 	return err
 }
 
@@ -313,7 +351,8 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 
 	key := mailboxKey{host: destHost, channel: channel}
 	mb := p.env.mailbox(key)
-	ps := &pendingSend{task: task, src: p, sender: p.cp}
+	ps := p.env.grabSend()
+	ps.task, ps.src, ps.sender = task, p, p.cp
 
 	var timer *core.Timer
 	if timeout > 0 {
@@ -329,6 +368,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 			if timer != nil {
 				timer.Cancel()
 			}
+			p.env.releaseSend(ps)
 			return err
 		}
 	} else {
@@ -341,6 +381,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	if timer != nil {
 		timer.Cancel()
 	}
+	p.env.releaseSend(ps)
 	return err
 }
 
@@ -359,7 +400,8 @@ func (p *Process) GetWithTimeout(channel int, timeout float64) (*Task, error) {
 func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	key := mailboxKey{host: p.host.Name, channel: channel}
 	mb := p.env.mailbox(key)
-	pr := &pendingRecv{receiver: p.cp}
+	pr := p.env.grabRecv()
+	pr.receiver = p.cp
 
 	var timer *core.Timer
 	if timeout > 0 {
@@ -375,6 +417,9 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 			if timer != nil {
 				timer.Cancel()
 			}
+			// ps stays with its sender: the wake above hands it back to
+			// put, which releases it.
+			p.env.releaseRecv(pr)
 			return nil, err
 		}
 	} else {
@@ -387,13 +432,64 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	if timer != nil {
 		timer.Cancel()
 	}
+	task := pr.task
+	p.env.releaseRecv(pr)
 	if err != nil {
 		return nil, err
 	}
-	return pr.task, nil
+	return task, nil
 }
 
 // --- Environment internals ----------------------------------------------
+
+// grabSend returns a blank pendingSend, recycled when possible.
+func (env *Environment) grabSend() *pendingSend {
+	if n := len(env.sendPool); poolingEnabled && n > 0 {
+		ps := env.sendPool[n-1]
+		env.sendPool[n-1] = nil
+		env.sendPool = env.sendPool[:n-1]
+		return ps
+	}
+	return &pendingSend{}
+}
+
+// releaseSend scrubs a finished pendingSend (returning its transfer
+// action to the surf free list) and pools it. Only put may call it, on
+// its normal return paths: at that point the record is out of every
+// mailbox queue, its timeout timer is canceled, and the delivery
+// cross-references were severed by ActionDone — no reference survives.
+// A killed sender unwinds through a panic instead of returning, so its
+// record is simply never recycled (its still-armed timeout closure may
+// hold it).
+func (env *Environment) releaseSend(ps *pendingSend) {
+	if a := ps.action; a != nil {
+		a.Release() // no-op if somehow not done
+	}
+	*ps = pendingSend{}
+	if poolingEnabled {
+		env.sendPool = append(env.sendPool, ps)
+	}
+}
+
+// grabRecv returns a blank pendingRecv, recycled when possible.
+func (env *Environment) grabRecv() *pendingRecv {
+	if n := len(env.recvPool); poolingEnabled && n > 0 {
+		pr := env.recvPool[n-1]
+		env.recvPool[n-1] = nil
+		env.recvPool = env.recvPool[:n-1]
+		return pr
+	}
+	return &pendingRecv{}
+}
+
+// releaseRecv scrubs a finished pendingRecv and pools it; the same
+// ownership rules as releaseSend apply, with get as the only caller.
+func (env *Environment) releaseRecv(pr *pendingRecv) {
+	*pr = pendingRecv{}
+	if poolingEnabled {
+		env.recvPool = append(env.recvPool, pr)
+	}
+}
 
 func (env *Environment) mailbox(key mailboxKey) *mailbox {
 	mb := env.mailboxes[key]
@@ -419,20 +515,13 @@ func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendi
 	ps.action = a
 	ps.delivery = pr
 	pr.matched = ps
-	deliver := func(cerr error) {
-		if cerr == nil {
-			pr.task = ps.task
-		}
-		env.eng.Wake(ps.sender, cerr)
-		env.eng.Wake(pr.receiver, cerr)
-	}
 	if a.Done() {
 		// Already finished (e.g. the route's link is down): defer the
 		// delivery one kernel turn so both sides have blocked.
 		cerr := a.Err()
-		env.eng.After(0, func() { deliver(cerr) })
+		env.eng.After(0, func() { ps.ActionDone(a, cerr) })
 	} else {
-		a.SetOnComplete(deliver)
+		a.SetCompletion(ps)
 	}
 	return nil
 }

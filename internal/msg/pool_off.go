@@ -1,0 +1,8 @@
+//go:build nopool
+
+package msg
+
+// poolingEnabled gates the environment's free lists. This is the
+// -tags=nopool build: every rendezvous record is allocated fresh, the
+// reference behaviour the pooled build must be indistinguishable from.
+var poolingEnabled = false

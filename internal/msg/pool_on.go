@@ -1,0 +1,10 @@
+//go:build !nopool
+
+package msg
+
+// poolingEnabled gates the environment's free lists (recycled
+// pendingSend/pendingRecv rendezvous records). Build with -tags=nopool
+// to allocate everything fresh — the reference behaviour the
+// pool-reuse regression suite cross-checks against. A var, not a
+// const, so in-package tests can flip it at runtime.
+var poolingEnabled = true

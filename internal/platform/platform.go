@@ -9,6 +9,13 @@
 // explicitly or computed by ComputeRoutes, which runs Floyd–Warshall on
 // link latency so traffic follows lowest-latency paths, mirroring the
 // static routing tables of SimGrid platform files.
+//
+// Key invariant: route lookups are memoized behind a topology
+// generation counter (Generation) — every mutation bumps it, so the
+// shared *Route values handed out by Route, and any state derived from
+// them by upper layers (surf's resolved resource lists), are valid
+// exactly as long as the generation matches and must be treated
+// read-only.
 package platform
 
 import (
@@ -322,6 +329,13 @@ func (p *Platform) Routers() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Generation returns the topology generation counter: it is bumped by
+// every topology mutation (AddRoute, Connect, ComputeRoutes, …), so
+// layers that memoize derived routing state (surf's resolved resource
+// lists) can drop their caches exactly when the platform's own route
+// cache does.
+func (p *Platform) Generation() uint64 { return p.gen }
 
 // Route returns the route between two hosts. A host communicates with
 // itself over an empty route (intra-host messaging costs only latency 0).

@@ -94,6 +94,7 @@ func BenchmarkSimDagScaling(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			pf := chainPlatform(b, c.chains)
 			tasks := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s := New(pf, surf.DefaultConfig())
@@ -124,6 +125,7 @@ func BenchmarkSimDagRandom(b *testing.B) {
 	for _, h := range pf.Hosts() {
 		hosts = append(hosts, h.Name)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(pf, surf.DefaultConfig())

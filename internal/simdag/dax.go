@@ -6,6 +6,7 @@
 // by another becomes an end-to-end communication task wired between
 // them. Synthetic zero-work "root" and "end" synchronization tasks
 // bracket the workflow, so the DAG always has a single entry and exit.
+
 package simdag
 
 import (
@@ -142,12 +143,12 @@ func LoadDAX(s *Simulation, r io.Reader) ([]*Task, error) {
 	root := s.NewSeqTask("root")
 	end := s.NewSeqTask("end")
 	for _, t := range tasks {
-		if len(t.preds) == 0 {
+		if !t.hasPreds() {
 			if err := s.AddDependency(root, t); err != nil {
 				return nil, err
 			}
 		}
-		if len(t.succs) == 0 {
+		if !t.hasSuccs() {
 			if err := s.AddDependency(t, end); err != nil {
 				return nil, err
 			}

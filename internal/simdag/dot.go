@@ -6,6 +6,7 @@
 // workflow generators emit — digraph header, node statements with
 // attribute lists, edge chains (a -> b -> c), quoted identifiers,
 // comments — without pulling in a graph library.
+
 package simdag
 
 import (

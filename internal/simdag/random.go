@@ -4,6 +4,7 @@
 // fraction of the edges carrying data (comm tasks). The same seed
 // always yields the same DAG, so benchmarks and determinism tests are
 // reproducible.
+
 package simdag
 
 import (

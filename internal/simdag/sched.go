@@ -4,6 +4,7 @@
 // in the paper). Both are deterministic: tasks are considered in
 // creation order and hosts in the given order, with strict-improvement
 // tie-breaks.
+
 package simdag
 
 import (
@@ -90,7 +91,11 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 		if t.kind == Compute && t.host == "" {
 			ok = false // not placed: the task is not resolvable yet
 		} else {
-			for _, p := range t.preds {
+			for it := t.predIter(); ; {
+				p, pok2 := it.next()
+				if !pok2 {
+					break
+				}
 				pv, pok := estOf(p)
 				if !pok {
 					ok = false
@@ -134,7 +139,11 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 			// final wire hop of direct comm predecessors (host-dependent).
 			eligible := true
 			base := 0.0
-			for _, p := range t.preds {
+			for it := t.predIter(); ; {
+				p, more := it.next()
+				if !more {
+					break
+				}
 				v, ok := estOf(p)
 				if !ok {
 					eligible = false
@@ -149,7 +158,11 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 			}
 			for _, h := range hosts {
 				arrive := base
-				for _, p := range t.preds {
+				for it := t.predIter(); ; {
+					p, more := it.next()
+					if !more {
+						break
+					}
 					if p.kind != Comm {
 						continue
 					}
@@ -189,12 +202,15 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 // commSrcHost returns the placement of a comm task's producing compute
 // predecessor ("" when there is none yet).
 func commSrcHost(c *Task) string {
-	for _, p := range c.preds {
+	for it := c.predIter(); ; {
+		p, ok := it.next()
+		if !ok {
+			return ""
+		}
 		if p.kind == Compute && p.host != "" {
 			return p.host
 		}
 	}
-	return ""
 }
 
 // placeComms assigns every unplaced comm task's endpoints from its
@@ -209,7 +225,11 @@ func placeComms(s *Simulation) error {
 		}
 		src := commSrcHost(t)
 		dst := ""
-		for _, p := range t.succs {
+		for it := t.succIter(); ; {
+			p, ok := it.next()
+			if !ok {
+				break
+			}
 			if p.kind == Compute && p.host != "" {
 				dst = p.host
 				break

@@ -127,13 +127,27 @@ type Task struct {
 	amount float64 // flops (Compute) or bytes (Comm)
 	state  State
 
-	preds     []*Task
-	succs     []*Task
-	waitingOn int // predecessors not yet Done
+	// Dependency adjacency. The first edge of each direction is stored
+	// inline (pred0/succ0) — most workflow tasks have degree 1, so the
+	// common walk is a single field read — and the overflow lives as
+	// heads/tails of index-linked lists in the simulation's edge arena
+	// (see depEdge): a 100k-edge DAG costs a handful of arena growths
+	// instead of two small slice allocations per task. 0 means empty;
+	// indices are 1-based.
+	pred0, succ0       *Task
+	predHead, predTail int32
+	succHead, succTail int32
+	waitingOn          int // predecessors not yet Done
 
 	host     string // Compute placement
 	src, dst string // Comm placement
 	priority float64
+
+	// Resolved placement handles, filled by Schedule/ScheduleComm so
+	// start() touches no string-keyed maps: shared per host / per pair
+	// for the model's lifetime.
+	execH *surf.HostHandle
+	commH *surf.RouteHandle // nil when the pair has no route: resolved at start, failing the task
 
 	action  *surf.Action
 	start   float64
@@ -174,11 +188,38 @@ func (t *Task) Finish() float64 { return t.finish }
 // Err returns the failure cause (nil unless Failed).
 func (t *Task) Err() error { return t.err }
 
-// Dependencies returns the task's predecessors.
-func (t *Task) Dependencies() []*Task { return t.preds }
+// Dependencies returns the task's predecessors (a fresh slice; the
+// adjacency itself lives in the simulation's edge arena).
+func (t *Task) Dependencies() []*Task {
+	var out []*Task
+	for it := t.predIter(); ; {
+		p, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
 
-// Dependents returns the task's successors.
-func (t *Task) Dependents() []*Task { return t.succs }
+// Dependents returns the task's successors (a fresh slice).
+func (t *Task) Dependents() []*Task {
+	var out []*Task
+	for it := t.succIter(); ; {
+		p, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// hasPreds reports whether the task has any predecessor.
+func (t *Task) hasPreds() bool { return t.pred0 != nil }
+
+// hasSuccs reports whether the task has any successor.
+func (t *Task) hasSuccs() bool { return t.succ0 != nil }
 
 // terminal reports whether the task reached Done or Failed.
 func (t *Task) terminal() bool { return t.state == Done || t.state == Failed }
@@ -210,10 +251,12 @@ func (t *Task) Schedule(host string) error {
 	if t.state != NotScheduled && t.state != Schedulable {
 		return fmt.Errorf("%w: Schedule on %s task %q", ErrBadState, t.state, t.name)
 	}
-	if t.sim.pf.Host(host) == nil {
+	h := t.sim.model.HostHandle(host)
+	if h == nil {
 		return fmt.Errorf("simdag: unknown host %q", host)
 	}
 	t.host = host
+	t.execH = h
 	t.state = Schedulable
 	return nil
 }
@@ -234,6 +277,10 @@ func (t *Task) ScheduleComm(src, dst string) error {
 		return fmt.Errorf("simdag: unknown host %q", dst)
 	}
 	t.src, t.dst = src, dst
+	// Resolve the route handle eagerly when possible; a pair with no
+	// route keeps the nil handle and fails at start time, preserving
+	// the "scheduling succeeds, execution fails" contract.
+	t.commH, _ = t.sim.model.RouteHandle(src, dst)
 	t.state = Schedulable
 	return nil
 }
@@ -251,6 +298,18 @@ type Simulation struct {
 	sweep      *core.Timer
 	sweepArmed bool
 	depsDirty  bool // an edge was added since the last cycle check
+
+	// depEdges is the arena backing every task's dependency lists,
+	// walked through depIter. Entries are never removed — tasks live as
+	// long as their simulation.
+	depEdges depArena
+
+	// taskArena chunk-allocates the Task structs themselves: tasks are
+	// only ever created through New*Task and live as long as the
+	// simulation, so block allocation keeps a 100k-task DAG to a few
+	// dozen allocations and lays tasks out contiguously for the state
+	// sweeps. The returned pointers are stable.
+	taskArena []Task
 
 	watchHits []*Task
 	nDone     int
@@ -305,7 +364,9 @@ func (s *Simulation) NewTask(name string, flops float64) *Task {
 	if flops < 0 {
 		flops = 0
 	}
-	return s.add(&Task{sim: s, name: name, kind: Compute, amount: flops, priority: 1})
+	t := s.add()
+	t.name, t.kind, t.amount = name, Compute, flops
+	return t
 }
 
 // NewCommTask creates an end-to-end communication task of the given
@@ -314,18 +375,120 @@ func (s *Simulation) NewCommTask(name string, bytes float64) *Task {
 	if bytes < 0 {
 		bytes = 0
 	}
-	return s.add(&Task{sim: s, name: name, kind: Comm, amount: bytes, priority: 1})
+	t := s.add()
+	t.name, t.kind, t.amount = name, Comm, bytes
+	return t
 }
 
 // NewSeqTask creates a zero-work synchronization task. It needs no
 // placement and is Schedulable from the start.
 func (s *Simulation) NewSeqTask(name string) *Task {
-	return s.add(&Task{sim: s, name: name, kind: Seq, state: Schedulable, priority: 1})
+	t := s.add()
+	t.name, t.kind, t.state = name, Seq, Schedulable
+	return t
 }
 
-func (s *Simulation) add(t *Task) *Task {
+// taskBlockSize is the task-arena growth quantum.
+const taskBlockSize = 1024
+
+// add carves a fresh task out of the arena (growing it by whole
+// blocks) and registers it.
+func (s *Simulation) add() *Task {
+	if len(s.taskArena) == cap(s.taskArena) {
+		s.taskArena = make([]Task, 0, taskBlockSize)
+	}
+	s.taskArena = s.taskArena[:len(s.taskArena)+1]
+	t := &s.taskArena[len(s.taskArena)-1]
+	t.sim = s
+	t.priority = 1
 	s.tasks = append(s.tasks, t)
 	return t
+}
+
+// depEdge is one arena entry of a task's dependency list: the peer
+// task and the 1-based arena index of the next edge in the same list
+// (0 terminates). Index links stay valid across arena growth, unlike
+// element pointers.
+type depEdge struct {
+	task *Task
+	next int32
+}
+
+// depBlockBits sizes the edge-arena blocks (4096 edges ≈ 64 KiB): the
+// arena grows by whole blocks, so building a large DAG never copies
+// already-stored edges — none of the append-doubling churn a flat
+// slice would feed the collector.
+const (
+	depBlockBits = 12
+	depBlockSize = 1 << depBlockBits
+)
+
+// depArena is a chunked, append-only store of dependency edges.
+type depArena struct {
+	blocks [][]depEdge
+	n      int32
+}
+
+// push stores e and returns its 1-based index.
+func (a *depArena) push(e depEdge) int32 {
+	b, off := int(a.n)>>depBlockBits, int(a.n)&(depBlockSize-1)
+	if off == 0 && b == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]depEdge, depBlockSize))
+	}
+	a.blocks[b][off] = e
+	a.n++
+	return a.n
+}
+
+// at returns the edge stored under 1-based index i.
+func (a *depArena) at(i int32) *depEdge {
+	i--
+	return &a.blocks[i>>depBlockBits][i&(depBlockSize-1)]
+}
+
+// depIter walks one adjacency list: the inline first edge, then the
+// arena overflow. It re-reads the arena through the simulation on
+// every step, so edges appended mid-walk (observer callbacks) are
+// picked up safely.
+type depIter struct {
+	s      *Simulation
+	inline *Task // yielded first; nil once consumed (or for empty lists)
+	i      int32
+}
+
+// next returns the next task of the list, or ok == false at the end.
+func (it *depIter) next() (*Task, bool) {
+	if it.inline != nil {
+		t := it.inline
+		it.inline = nil
+		return t, true
+	}
+	if it.i == 0 {
+		return nil, false
+	}
+	e := it.s.depEdges.at(it.i)
+	it.i = e.next
+	return e.task, true
+}
+
+func (t *Task) predIter() depIter { return depIter{s: t.sim, inline: t.pred0, i: t.predHead} }
+func (t *Task) succIter() depIter { return depIter{s: t.sim, inline: t.succ0, i: t.succHead} }
+
+// pushEdge appends an edge holding t to the list identified by
+// inline/head/tail, preserving insertion order: the first edge lands
+// in the inline slot, the rest in the arena.
+func (s *Simulation) pushEdge(inline **Task, head, tail *int32, t *Task) {
+	if *inline == nil && *head == 0 {
+		*inline = t
+		return
+	}
+	idx := s.depEdges.push(depEdge{task: t})
+	if *tail != 0 {
+		s.depEdges.at(*tail).next = idx
+	} else {
+		*head = idx
+	}
+	*tail = idx
 }
 
 // AddDependency declares that `after` cannot start before `before`
@@ -347,13 +510,17 @@ func (s *Simulation) AddDependency(before, after *Task) error {
 		}
 		return nil // depending on a Done task is vacuously satisfied
 	}
-	for _, p := range after.preds {
+	for it := after.predIter(); ; {
+		p, ok := it.next()
+		if !ok {
+			break
+		}
 		if p == before {
 			return fmt.Errorf("%w: %q -> %q", ErrDuplicate, before.name, after.name)
 		}
 	}
-	before.succs = append(before.succs, after)
-	after.preds = append(after.preds, before)
+	s.pushEdge(&before.succ0, &before.succHead, &before.succTail, after)
+	s.pushEdge(&after.pred0, &after.predHead, &after.predTail, before)
 	after.waitingOn++
 	s.depsDirty = true
 	return nil
@@ -423,7 +590,11 @@ func (s *Simulation) checkCycles() error {
 			continue
 		}
 		c := 0
-		for _, p := range t.preds {
+		for it := t.predIter(); ; {
+			p, ok := it.next()
+			if !ok {
+				break
+			}
 			if !p.terminal() {
 				c++
 			}
@@ -437,7 +608,11 @@ func (s *Simulation) checkCycles() error {
 	seen := 0
 	for i := 0; i < len(queue); i++ {
 		seen++
-		for _, succ := range queue[i].succs {
+		for it := queue[i].succIter(); ; {
+			succ, ok := it.next()
+			if !ok {
+				break
+			}
 			if succ.indeg > 0 {
 				succ.indeg--
 				if succ.indeg == 0 {
@@ -518,9 +693,13 @@ func (s *Simulation) start(t *Task) {
 		s.taskFinished(t, nil)
 		return
 	case Compute:
-		a, err = s.model.Execute(t.host, t.amount, t.priority)
+		a, err = s.model.ExecuteHandle(t.execH, t.amount, t.priority)
 	case Comm:
-		a, err = s.model.Communicate(t.src, t.dst, t.amount)
+		if t.commH != nil {
+			a, err = s.model.CommunicateHandle(t.commH, t.amount)
+		} else {
+			a, err = s.model.Communicate(t.src, t.dst, t.amount)
+		}
 	}
 	if err != nil {
 		s.failTask(t, err)
@@ -532,7 +711,14 @@ func (s *Simulation) start(t *Task) {
 		s.taskFinished(t, aerr)
 		return
 	}
-	a.SetOnComplete(func(cerr error) { s.taskFinished(t, cerr) })
+	a.SetCompletion(t)
+}
+
+// ActionDone implements surf.Completion: the task's action finished,
+// drive the DAG. Registering the task itself (instead of a closure)
+// keeps a 100k-task run free of per-task callback allocations.
+func (t *Task) ActionDone(_ *surf.Action, cerr error) {
+	t.sim.taskFinished(t, cerr)
 }
 
 // taskFinished is the completion callback: it finalizes the task and
@@ -544,12 +730,21 @@ func (s *Simulation) taskFinished(t *Task, err error) {
 	}
 	t.state = Done
 	t.finish = s.eng.Now()
-	t.action = nil
+	if t.action != nil {
+		// The action never escapes the task: recycle it (with its
+		// variable and resources) for the next task start.
+		t.action.Release()
+		t.action = nil
+	}
 	s.nDone++
 	s.record(t)
 	s.notify(t)
 	s.watch(t)
-	for _, succ := range t.succs {
+	for it := t.succIter(); ; {
+		succ, ok := it.next()
+		if !ok {
+			break
+		}
 		succ.waitingOn--
 		if succ.waitingOn == 0 && succ.state == Schedulable {
 			s.enqueue(succ)
@@ -564,12 +759,19 @@ func (s *Simulation) failTask(t *Task, err error) {
 	t.state = Failed
 	t.err = err
 	t.finish = s.eng.Now()
-	t.action = nil
+	if t.action != nil {
+		t.action.Release()
+		t.action = nil
+	}
 	s.nFailed++
 	s.record(t)
 	s.notify(t)
 	s.watch(t)
-	for _, succ := range t.succs {
+	for it := t.succIter(); ; {
+		succ, ok := it.next()
+		if !ok {
+			break
+		}
 		s.cancel(succ)
 	}
 }
@@ -587,7 +789,11 @@ func (s *Simulation) cancel(t *Task) {
 	s.nFailed++
 	s.notify(t)
 	s.watch(t)
-	for _, succ := range t.succs {
+	for it := t.succIter(); ; {
+		succ, ok := it.next()
+		if !ok {
+			break
+		}
 		s.cancel(succ)
 	}
 }

@@ -9,6 +9,10 @@
 // Payloads are passed by reference (all ranks share one address space,
 // like MSG tasks); the simulated transfer duration is governed by the
 // explicit byte count of each call.
+//
+// Key invariant: rank-to-rank matching is deterministic — sends and
+// receives pair in posting order per (source, tag) queue, so a legal
+// MPI program produces the same virtual-time schedule on every run.
 package smpi
 
 import (
@@ -182,7 +186,9 @@ func (r *Rank) Compute(flops float64) error {
 	if err != nil {
 		return err
 	}
-	return a.Wait(r.proc)
+	werr := a.Wait(r.proc)
+	a.Release() // the action never escapes this frame
+	return werr
 }
 
 // Send transmits data to a rank (MPI_Send, blocking until the matching
@@ -330,8 +336,10 @@ func (r *Rank) BenchOnce(key string, fn func()) (float64, error) {
 		return 0, err
 	}
 	start := w.eng.Now()
-	if err := a.Wait(r.proc); err != nil {
-		return 0, err
+	werr := a.Wait(r.proc)
+	a.Release()
+	if werr != nil {
+		return 0, werr
 	}
 	return w.eng.Now() - start, nil
 }
@@ -357,8 +365,10 @@ func (r *Rank) BenchAlways(key string, fn func()) (float64, error) {
 		return 0, err
 	}
 	start := w.eng.Now()
-	if err := a.Wait(r.proc); err != nil {
-		return 0, err
+	werr := a.Wait(r.proc)
+	a.Release()
+	if werr != nil {
+		return 0, werr
 	}
 	return w.eng.Now() - start, nil
 }

@@ -21,15 +21,18 @@ func TestActionHeapBulkOps(t *testing.T) {
 		if len(h) != len(live) {
 			t.Fatalf("heap has %d entries, want %d", len(h), len(live))
 		}
-		for i, a := range h {
-			if a.heapIdx != i {
-				t.Fatalf("heap[%d].heapIdx = %d", i, a.heapIdx)
+		for i, e := range h {
+			if e.a.heapIdx != i {
+				t.Fatalf("heap[%d].heapIdx = %d", i, e.a.heapIdx)
 			}
-			if !live[a] {
+			if !live[e.a] {
 				t.Fatalf("heap[%d] is not a live action", i)
 			}
+			if e.key != e.a.eventKey() {
+				t.Fatalf("heap[%d] cached key %g, action key %g", i, e.key, e.a.eventKey())
+			}
 			if i > 0 {
-				if p := (i - 1) / 2; h[p].eventKey() > h[i].eventKey() {
+				if p := (i - 1) / heapArity; h[p].key > h[i].key {
 					t.Fatalf("heap invariant broken at %d", i)
 				}
 			}
@@ -73,7 +76,7 @@ func TestActionHeapBulkOps(t *testing.T) {
 			}
 		default: // single remove
 			i := rng.Intn(len(h))
-			a := h[i]
+			a := h[i].a
 			h.remove(i)
 			delete(live, a)
 		}
@@ -132,7 +135,7 @@ func BenchmarkActionHeapLockstep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				due = due[:0]
-				for len(h) > 0 && h[0].eventKey() <= dueKey {
+				for len(h) > 0 && h[0].key <= dueKey {
 					due = append(due, h.popMin())
 				}
 				if len(due) != c.k {

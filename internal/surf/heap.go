@@ -2,7 +2,7 @@ package surf
 
 import "math/bits"
 
-// actionHeap is an indexed binary min-heap over the model's in-flight
+// actionHeap is an indexed 4-ary min-heap over the model's in-flight
 // actions, keyed on each action's next event time (the end of its
 // latency phase while that is being paid, its absolute completion
 // estimate afterwards). It implements SimGrid's "lazy action
@@ -12,8 +12,19 @@ import "math/bits"
 // Keys change only when an action's rate changes (reported by
 // maxmin.System.Updated after a solve) or when its latency phase ends,
 // so the heap is re-keyed incrementally: O(log n) per changed action
-// rather than O(n) per step.
-type actionHeap []*Action
+// rather than O(n) per step. Each entry carries its key inline — a
+// sift compares contiguous heap entries instead of dereferencing
+// scattered Action structs, which is most of the event machinery's
+// cache traffic at 10k+ concurrent actions.
+type actionHeap []heapEntry
+
+// heapEntry pairs an action with its cached event key. The key is
+// refreshed from eventKey() at push/fix time; between re-keys it is
+// authoritative for ordering.
+type heapEntry struct {
+	key float64
+	a   *Action
+}
 
 // eventKey is the heap key: the absolute time of the action's next
 // event. Suspended or starved bandwidth-phase actions have estFinish
@@ -25,17 +36,22 @@ func (a *Action) eventKey() float64 {
 	return a.estFinish
 }
 
-func (h actionHeap) less(i, j int) bool { return h[i].eventKey() < h[j].eventKey() }
+func (h actionHeap) less(i, j int) bool { return h[i].key < h[j].key }
 
 func (h actionHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
+	h[i].a.heapIdx = i
+	h[j].a.heapIdx = j
 }
+
+// The heap is 4-ary: half the depth of a binary heap, and the four
+// children of a node are adjacent in memory, so a sift touches fewer,
+// better-clustered cache lines — measurable at 10k+ in-flight actions.
+const heapArity = 4
 
 func (h actionHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !h.less(i, parent) {
 			break
 		}
@@ -47,13 +63,19 @@ func (h actionHeap) up(i int) {
 func (h actionHeap) down(i int) {
 	n := len(h)
 	for {
-		l := 2*i + 1
+		l := heapArity*i + 1
 		if l >= n {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && h.less(r, l) {
-			m = r
+		hi := l + heapArity
+		if hi > n {
+			hi = n
+		}
+		for c := l + 1; c < hi; c++ {
+			if h.less(c, m) {
+				m = c
+			}
 		}
 		if !h.less(m, i) {
 			break
@@ -66,12 +88,13 @@ func (h actionHeap) down(i int) {
 // push inserts a (which must not be in the heap) and records its index.
 func (h *actionHeap) push(a *Action) {
 	a.heapIdx = len(*h)
-	*h = append(*h, a)
+	*h = append(*h, heapEntry{key: a.eventKey(), a: a})
 	h.up(a.heapIdx)
 }
 
-// fix restores the invariant after the key of h[i] changed in place.
+// fix re-reads the key of h[i]'s action and restores the invariant.
 func (h actionHeap) fix(i int) {
+	h[i].key = h[i].a.eventKey()
 	h.up(i)
 	h.down(i)
 }
@@ -80,11 +103,11 @@ func (h actionHeap) fix(i int) {
 func (h *actionHeap) remove(i int) {
 	old := *h
 	n := len(old) - 1
-	a := old[i]
+	a := old[i].a
 	if i != n {
 		old.swap(i, n)
 	}
-	old[n] = nil // release for the collector
+	old[n] = heapEntry{} // release for the collector
 	*h = old[:n]
 	if i != n {
 		(*h).fix(i)
@@ -94,7 +117,7 @@ func (h *actionHeap) remove(i int) {
 
 // popMin removes and returns the action with the earliest event.
 func (h *actionHeap) popMin() *Action {
-	a := (*h)[0]
+	a := (*h)[0].a
 	h.remove(0)
 	return a
 }
@@ -106,7 +129,7 @@ func (h *actionHeap) popMin() *Action {
 // caller-owned scratch; both grown slices are returned for reuse.
 func (h actionHeap) collectDue(maxKey float64, buf []*Action, stack []int) ([]*Action, []int) {
 	n := len(h)
-	if n == 0 || h[0].eventKey() > maxKey {
+	if n == 0 || h[0].key > maxKey {
 		return buf, stack
 	}
 	// All-due shortcut: keys never decrease toward the leaves, so if
@@ -114,25 +137,32 @@ func (h actionHeap) collectDue(maxKey float64, buf []*Action, stack []int) ([]*A
 	// (The scan aborts at the first non-due leaf, so a mixed heap pays
 	// almost nothing for the attempt.)
 	allDue := true
-	for i := n / 2; i < n; i++ {
-		if h[i].eventKey() > maxKey {
+	for i := (n - 2) / heapArity; i < n; i++ {
+		if h[i].key > maxKey {
 			allDue = false
 			break
 		}
 	}
 	if allDue {
-		return append(buf, h...), stack
+		for i := range h {
+			buf = append(buf, h[i].a)
+		}
+		return buf, stack
 	}
 	stack = append(stack[:0], 0)
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		buf = append(buf, h[i])
-		if l := 2*i + 1; l < len(h) && h[l].eventKey() <= maxKey {
-			stack = append(stack, l)
+		buf = append(buf, h[i].a)
+		l := heapArity*i + 1
+		hi := l + heapArity
+		if hi > len(h) {
+			hi = len(h)
 		}
-		if r := 2*i + 2; r < len(h) && h[r].eventKey() <= maxKey {
-			stack = append(stack, r)
+		for c := l; c < hi; c++ {
+			if h[c].key <= maxKey {
+				stack = append(stack, c)
+			}
 		}
 	}
 	return buf, stack
@@ -150,9 +180,9 @@ func (h *actionHeap) removeBatch(batch []*Action) {
 	}
 	if k == n {
 		// Everything goes: truncate in one pass, no compaction needed.
-		for i, a := range *h {
-			a.heapIdx = -1
-			(*h)[i] = nil
+		for i := range *h {
+			(*h)[i].a.heapIdx = -1
+			(*h)[i] = heapEntry{}
 		}
 		*h = (*h)[:0]
 		return
@@ -171,19 +201,19 @@ func (h *actionHeap) removeBatch(batch []*Action) {
 	old := *h
 	w := 0
 	for r := 0; r < n; r++ {
-		a := old[r]
-		if a.heapIdx < 0 {
+		e := old[r]
+		if e.a.heapIdx < 0 {
 			continue
 		}
-		old[w] = a
-		a.heapIdx = w
+		old[w] = e
+		e.a.heapIdx = w
 		w++
 	}
 	for i := w; i < n; i++ {
-		old[i] = nil // release for the collector
+		old[i] = heapEntry{} // release for the collector
 	}
 	*h = old[:w]
-	for i := w/2 - 1; i >= 0; i-- {
+	for i := (w - 2) / heapArity; i >= 0; i-- {
 		(*h).down(i)
 	}
 }
@@ -206,9 +236,9 @@ func (h *actionHeap) bulkPush(as []*Action) {
 	}
 	for _, a := range as {
 		a.heapIdx = len(*h)
-		*h = append(*h, a)
+		*h = append(*h, heapEntry{key: a.eventKey(), a: a})
 	}
-	for i := n/2 - 1; i >= 0; i-- {
+	for i := (n - 2) / heapArity; i >= 0; i-- {
 		(*h).down(i)
 	}
 }

@@ -27,18 +27,21 @@ func TestActionHeapOps(t *testing.T) {
 		if len(h) != len(live) {
 			t.Fatalf("heap has %d entries, want %d", len(h), len(live))
 		}
-		for i, a := range h {
-			if a.heapIdx != i {
-				t.Fatalf("heap[%d].heapIdx = %d", i, a.heapIdx)
+		for i, e := range h {
+			if e.a.heapIdx != i {
+				t.Fatalf("heap[%d].heapIdx = %d", i, e.a.heapIdx)
+			}
+			if e.key != e.a.eventKey() {
+				t.Fatalf("heap[%d] cached key %g, action key %g", i, e.key, e.a.eventKey())
 			}
 			if i > 0 {
-				if p := (i - 1) / 2; h[p].eventKey() > h[i].eventKey() {
-					t.Fatalf("heap invariant broken at %d: parent %g > child %g", i, h[p].eventKey(), h[i].eventKey())
+				if p := (i - 1) / heapArity; h[p].key > h[i].key {
+					t.Fatalf("heap invariant broken at %d: parent %g > child %g", i, h[p].key, h[i].key)
 				}
 			}
 		}
-		if len(h) > 0 && h[0].eventKey() != min {
-			t.Fatalf("heap min %g, linear rescan min %g", h[0].eventKey(), min)
+		if len(h) > 0 && h[0].key != min {
+			t.Fatalf("heap min %g, linear rescan min %g", h[0].key, min)
 		}
 	}
 	for op := 0; op < 2000; op++ {
@@ -96,29 +99,33 @@ type heapSnap struct {
 func (hc *heapChecker) NextEventTime(now float64) float64 {
 	t, m := hc.t, hc.m
 	// Heap invariant and index bookkeeping.
-	for i, a := range m.heap {
+	for i, e := range m.heap {
+		a := e.a
 		if a.heapIdx != i {
 			t.Fatalf("t=%g: heap[%d].heapIdx = %d", now, i, a.heapIdx)
 		}
 		if a.done {
 			t.Fatalf("t=%g: done action %q still in heap", now, a.name)
 		}
+		if e.key != a.eventKey() {
+			t.Fatalf("t=%g: heap[%d] cached key %g, action key %g", now, i, e.key, a.eventKey())
+		}
 		if i > 0 {
-			if p := (i - 1) / 2; m.heap[p].eventKey() > m.heap[i].eventKey() {
+			if p := (i - 1) / heapArity; m.heap[p].key > m.heap[i].key {
 				t.Fatalf("t=%g: heap invariant broken at %d", now, i)
 			}
 		}
 	}
 	// Forced linear rescan: the heap peek must agree exactly.
 	min := math.Inf(1)
-	for _, a := range m.heap {
-		if k := a.eventKey(); k < min {
+	for _, e := range m.heap {
+		if k := e.a.eventKey(); k < min {
 			min = k
 		}
 	}
 	heapMin := math.Inf(1)
 	if len(m.heap) > 0 {
-		heapMin = m.heap[0].eventKey()
+		heapMin = m.heap[0].key
 	}
 	if heapMin != min {
 		t.Fatalf("t=%g: heap NextEventTime %g, linear rescan %g", now, heapMin, min)
@@ -126,7 +133,8 @@ func (hc *heapChecker) NextEventTime(now float64) float64 {
 	// Snapshot the pre-sweep state; nothing can mutate actions between
 	// this call and AdvanceTo (engine contract).
 	hc.snapshot = hc.snapshot[:0]
-	for _, a := range m.heap {
+	for _, e := range m.heap {
+		a := e.a
 		hc.snapshot = append(hc.snapshot, heapSnap{a: a, latUntil: a.latUntil, estFinish: a.estFinish})
 	}
 	hc.checks++

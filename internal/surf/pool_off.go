@@ -1,0 +1,9 @@
+//go:build nopool
+
+package surf
+
+// poolingEnabled gates the model's free lists. This is the
+// -tags=nopool build: every Action and resources slice is allocated
+// fresh, the reference behaviour the pooled build must be
+// indistinguishable from.
+var poolingEnabled = false

@@ -1,0 +1,10 @@
+//go:build !nopool
+
+package surf
+
+// poolingEnabled gates the model's free lists (recycled Action structs
+// and their resources slices). Build with -tags=nopool to allocate
+// everything fresh — the reference behaviour the pool-reuse regression
+// suite cross-checks against. A var, not a const, so in-package tests
+// can flip it at runtime to compare both paths in one build.
+var poolingEnabled = true

@@ -14,6 +14,15 @@
 // first pays the route latency (scaled by LatencyFactor), then receives
 // a MaxMin share of every crossed link's bandwidth (scaled by
 // BandwidthFactor), capped by the TCP window bound TCPGamma / (2·RTT).
+//
+// Progress bookkeeping is lazy (the key invariant of the event heap):
+// an action's remaining work is exact only as of its last rate change,
+// and the heap is keyed on absolute completion estimates, so advancing
+// virtual time costs nothing for untouched actions (see latUntil /
+// estFinish). Steady-state churn is allocation-free: Action structs,
+// their resources slices and their maxmin variables are free-listed
+// (Action.Release, -tags=nopool to disable), and completion can be
+// delivered through the closure-free Completion interface.
 package surf
 
 import (
@@ -139,10 +148,23 @@ type Action struct {
 
 	waiter     *core.Process
 	onComplete func(err error)
+	compl      Completion // allocation-free alternative to onComplete
 	done       bool
 	err        error
 
 	suspended bool
+}
+
+// Completion receives an action's completion without a per-action
+// closure: a layer whose bookkeeping object outlives the action (msg's
+// pending rendezvous, a simdag task) registers itself via
+// SetCompletion, so steady-state churn allocates nothing. The handler
+// runs in kernel context, exactly like a SetOnComplete callback.
+type Completion interface {
+	// ActionDone is invoked once when the action finishes; err is nil
+	// for success, else the failure cause (ErrCanceled, ErrHostFailed,
+	// ErrLinkFailed).
+	ActionDone(a *Action, err error)
 }
 
 // Kind returns the action kind.
@@ -233,13 +255,49 @@ func (a *Action) Test(p *core.Process) (bool, error) { return p.TestActivity(a) 
 // action finishes (err nil on success). Layers needing to wake several
 // processes on one completion (e.g. MSG's sender+receiver) use this
 // instead of Wait. If the action is already done the callback fires
-// immediately.
+// immediately. Steady-state callers should prefer SetCompletion, which
+// does not allocate a closure per action.
 func (a *Action) SetOnComplete(fn func(err error)) {
 	if a.done {
 		fn(a.err)
 		return
 	}
 	a.onComplete = fn
+}
+
+// SetCompletion registers h to receive the action's completion — the
+// closure-free twin of SetOnComplete. If the action is already done
+// the handler fires immediately.
+func (a *Action) SetCompletion(h Completion) {
+	if a.done {
+		h.ActionDone(a, a.err)
+		return
+	}
+	a.compl = h
+}
+
+// Release scrubs a finished action and returns it to its model's free
+// list for reuse by a future Execute/Communicate/ExecuteParallel. Only
+// the owner that knows no other reference survives may call it (msg
+// releases its transfer and execution actions, simdag its task
+// actions); the action must not be touched afterwards. Releasing an
+// unfinished action is a no-op.
+func (a *Action) Release() {
+	m := a.model
+	if m == nil || !a.done {
+		return
+	}
+	m.releaseResources(a) // normally already nil; belt and braces
+	m.poolAction(a)
+}
+
+// poolAction scrubs an action and returns it to the free list — the
+// single owner of the "pools hold only zeroed structs" invariant.
+func (m *Model) poolAction(a *Action) {
+	*a = Action{}
+	if poolingEnabled {
+		m.actPool = append(m.actPool, a)
+	}
 }
 
 // Cancel aborts the action, delivering ErrCanceled to its waiter.
@@ -294,15 +352,16 @@ func (a *Action) Suspended() bool { return a.suspended }
 // resource wraps a platform element with its MaxMin constraint and
 // dynamic state.
 type resource struct {
-	name    string
-	cnst    *maxmin.Constraint
-	nominal float64 // configured capacity (after model factors)
-	avail   float64 // current availability scaling in [0,1]
-	on      bool
-	isHost  bool
-	host    *platform.Host
-	link    *platform.Link
-	failErr error
+	name     string
+	execName string // cached "exec@<host>" action name (hosts only)
+	cnst     *maxmin.Constraint
+	nominal  float64 // configured capacity (after model factors)
+	avail    float64 // current availability scaling in [0,1]
+	on       bool
+	isHost   bool
+	host     *platform.Host
+	link     *platform.Link
+	failErr  error
 }
 
 func (r *resource) effectiveCapacity() float64 {
@@ -343,6 +402,28 @@ type Model struct {
 	// single fat ptask slice does not pin memory forever.
 	resPool [][]*resource
 
+	// actPool recycles Action structs released by their owning layer
+	// (Action.Release): together with the maxmin variable free list it
+	// makes the steady-state activity churn allocation-free. Disabled
+	// under -tags=nopool.
+	actPool []*Action
+
+	// routeRes caches per-route transfer state — the resolved resource
+	// list and the diagnostic "comm src->dst" name — keyed by the
+	// shared *platform.Route the platform's own cache hands out: a
+	// topology mutation bumps the platform generation, Route returns a
+	// fresh pointer, and the stale entries are dropped wholesale at the
+	// generation change. Cached slices are shared and read-only.
+	routeRes    map[*platform.Route]*routeEntry
+	routeResGen uint64
+
+	// hostHandles / routeHandles back the shared placement handles
+	// (HostHandle / RouteHandle): one handle per host or pair for the
+	// model's lifetime, so callers that start many actions on the same
+	// placement (simdag tasks, schedulers) pay the name lookups once.
+	hostHandles  map[string]*HostHandle
+	routeHandles map[[2]string]*RouteHandle
+
 	// seqCompletions forces the one-pop-at-a-time completion path
 	// (Config.SequentialCompletions, benchmark/debug only).
 	seqCompletions bool
@@ -376,13 +457,14 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 	m.seqCompletions = cfg.SequentialCompletions
 	for _, h := range pf.Hosts() {
 		r := &resource{
-			name:    h.Name,
-			nominal: h.Power,
-			avail:   1,
-			on:      true,
-			isHost:  true,
-			host:    h,
-			failErr: ErrHostFailed,
+			name:     h.Name,
+			execName: "exec@" + h.Name,
+			nominal:  h.Power,
+			avail:    1,
+			on:       true,
+			isHost:   true,
+			host:     h,
+			failErr:  ErrHostFailed,
 		}
 		r.cnst = m.sys.NewConstraint(r.nominal)
 		r.cnst.Data = r
@@ -467,40 +549,97 @@ func (m *Model) HostLoad(name string) float64 {
 	return r.cnst.Usage()
 }
 
+// newAction returns a blank action (recycled from the free list when
+// possible) with the shared creation bookkeeping filled in.
+func (m *Model) newAction(kind ActionKind, name string) *Action {
+	var a *Action
+	if n := len(m.actPool); poolingEnabled && n > 0 {
+		a = m.actPool[n-1]
+		m.actPool[n-1] = nil
+		m.actPool = m.actPool[:n-1]
+	} else {
+		a = &Action{}
+	}
+	a.model = m
+	a.kind = kind
+	a.name = name
+	a.heapIdx = -1
+	a.start = m.eng.Now()
+	a.lastSync = a.start
+	a.seq = m.nextSeq
+	m.nextSeq++
+	return a
+}
+
+// HostHandle is a resolved compute placement: callers that start many
+// executions on the same host (simdag tasks, schedulers) fetch it once
+// and skip the per-call name lookup. Handles are shared and stay valid
+// for the model's lifetime (host state changes flow through the
+// underlying resource).
+type HostHandle struct {
+	r *resource
+}
+
+// Name returns the handle's host name.
+func (h *HostHandle) Name() string { return h.r.name }
+
+// HostHandle resolves a host name to its shared placement handle, or
+// nil for an unknown host.
+func (m *Model) HostHandle(name string) *HostHandle {
+	if h, ok := m.hostHandles[name]; ok {
+		return h
+	}
+	r, ok := m.cpus[name]
+	if !ok {
+		return nil
+	}
+	if m.hostHandles == nil {
+		m.hostHandles = make(map[string]*HostHandle)
+	}
+	h := &HostHandle{r: r}
+	m.hostHandles[name] = h
+	return h
+}
+
 // Execute starts a computation of the given amount of flops on a host.
 func (m *Model) Execute(hostName string, flops, priority float64) (*Action, error) {
 	r, ok := m.cpus[hostName]
 	if !ok {
 		return nil, fmt.Errorf("surf: unknown host %q", hostName)
 	}
+	return m.executeOn(r, flops, priority), nil
+}
+
+// ExecuteHandle is Execute through a pre-resolved placement handle —
+// no map lookup on the hot path.
+func (m *Model) ExecuteHandle(h *HostHandle, flops, priority float64) (*Action, error) {
+	if h == nil || h.r == nil {
+		return nil, fmt.Errorf("surf: nil host handle")
+	}
+	return m.executeOn(h.r, flops, priority), nil
+}
+
+// executeOn starts a computation on a resolved CPU resource.
+func (m *Model) executeOn(r *resource, flops, priority float64) *Action {
 	if priority <= 0 {
 		priority = 1
 	}
-	a := &Action{
-		model:     m,
-		kind:      ActionCompute,
-		name:      "exec@" + hostName,
-		remaining: flops,
-		priority:  priority,
-		heapIdx:   -1,
-		start:     m.eng.Now(),
-	}
-	a.seq = m.nextSeq
-	m.nextSeq++
+	a := m.newAction(ActionCompute, r.execName)
+	a.remaining = flops
+	a.priority = priority
 	if !r.on {
 		a.done = true
 		a.err = ErrHostFailed
 		a.finish = a.start
-		return a, nil
+		return a
 	}
 	a.v = m.sys.NewVariable(priority, 0)
 	a.v.Data = a
 	m.sys.Expand(r.cnst, a.v, 1)
 	a.resources = append(m.grabResources(), r)
-	a.lastSync = a.start
 	a.refreshEstimate(a.start)
 	m.heap.push(a)
-	return a, nil
+	return a
 }
 
 // linkResources returns the resources implementing a platform link
@@ -557,6 +696,83 @@ func (m *Model) routeResources(src, dst string, links []*platform.Link) ([]*reso
 	return out, nil
 }
 
+// routeEntry is the cached per-route transfer state.
+type routeEntry struct {
+	rs   []*resource // resolved directed resources, shared, read-only
+	name string      // "comm src->dst" diagnostic action name
+}
+
+// resolveRoute is routeResources behind a per-route cache: the
+// platform's Route cache hands out one shared *Route per pair and
+// generation, so the resolved resource list (and the diagnostic comm
+// name) can be memoized on that pointer — a repeat transfer between
+// the same hosts (the steady state of any workload) resolves with one
+// map hit and zero allocation.
+func (m *Model) resolveRoute(src, dst string, route *platform.Route) (*routeEntry, error) {
+	if gen := m.pf.Generation(); m.routeRes == nil || gen != m.routeResGen {
+		m.routeRes = make(map[*platform.Route]*routeEntry)
+		m.routeResGen = gen
+	}
+	if re, ok := m.routeRes[route]; ok {
+		return re, nil
+	}
+	rs, err := m.routeResources(src, dst, route.Links)
+	if err != nil {
+		return nil, err
+	}
+	re := &routeEntry{rs: rs, name: "comm " + src + "->" + dst}
+	m.routeRes[route] = re
+	return re, nil
+}
+
+// RouteHandle is a resolved communication placement (ordered host
+// pair): callers that start many transfers between the same endpoints
+// fetch it once and skip the route and resource lookups per call. The
+// handle revalidates itself against the platform's topology generation,
+// so it stays correct across topology mutations.
+type RouteHandle struct {
+	src, dst string
+	gen      uint64
+	route    *platform.Route
+	re       *routeEntry
+}
+
+// Endpoints returns the handle's (src, dst) pair.
+func (h *RouteHandle) Endpoints() (src, dst string) { return h.src, h.dst }
+
+// RouteHandle resolves an ordered host pair to its shared transfer
+// handle. It fails like Communicate would: unknown hosts or a missing
+// route are reported immediately.
+func (m *Model) RouteHandle(src, dst string) (*RouteHandle, error) {
+	key := [2]string{src, dst}
+	if h, ok := m.routeHandles[key]; ok {
+		return h, nil
+	}
+	h := &RouteHandle{src: src, dst: dst}
+	if err := m.revalidate(h); err != nil {
+		return nil, err
+	}
+	if m.routeHandles == nil {
+		m.routeHandles = make(map[[2]string]*RouteHandle)
+	}
+	m.routeHandles[key] = h
+	return h, nil
+}
+
+// revalidate re-resolves a route handle against the current topology.
+func (m *Model) revalidate(h *RouteHandle) error {
+	route, err := m.pf.Route(h.src, h.dst)
+	if err != nil {
+		return err
+	}
+	re, err := m.resolveRoute(h.src, h.dst, route)
+	if err != nil {
+		return err
+	}
+	h.route, h.re, h.gen = route, re, m.pf.Generation()
+	return nil
+}
+
 // Communicate starts a transfer of the given number of bytes between
 // two hosts. The transfer pays the route latency first, then shares
 // bandwidth on every crossed link (the traversed direction only, for
@@ -566,18 +782,34 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 	if err != nil {
 		return nil, err
 	}
-	lat := route.Latency() * m.cfg.LatencyFactor
-	a := &Action{
-		model:     m,
-		kind:      ActionComm,
-		name:      "comm " + src + "->" + dst,
-		remaining: bytes,
-		priority:  1,
-		heapIdx:   -1,
-		start:     m.eng.Now(),
+	re, err := m.resolveRoute(src, dst, route)
+	if err != nil {
+		return nil, err
 	}
-	a.seq = m.nextSeq
-	m.nextSeq++
+	return m.communicateOn(route, re, bytes), nil
+}
+
+// CommunicateHandle is Communicate through a pre-resolved route handle
+// — no route or resource map lookups on the hot path (one generation
+// compare, and a re-resolve only after a topology mutation).
+func (m *Model) CommunicateHandle(h *RouteHandle, bytes float64) (*Action, error) {
+	if h == nil {
+		return nil, fmt.Errorf("surf: nil route handle")
+	}
+	if h.gen != m.pf.Generation() {
+		if err := m.revalidate(h); err != nil {
+			return nil, err
+		}
+	}
+	return m.communicateOn(h.route, h.re, bytes), nil
+}
+
+// communicateOn starts a transfer over a resolved route.
+func (m *Model) communicateOn(route *platform.Route, re *routeEntry, bytes float64) *Action {
+	lat := route.Latency() * m.cfg.LatencyFactor
+	a := m.newAction(ActionComm, re.name)
+	a.remaining = bytes
+	a.priority = 1
 	a.latUntil = a.start + lat
 	if m.cfg.TCPGamma > 0 && lat > 0 {
 		a.bound = m.cfg.TCPGamma / (2 * route.Latency())
@@ -601,14 +833,10 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 		a.latUntil = 0
 		w = a.effWeight()
 	}
-	rs, err := m.routeResources(src, dst, route.Links)
-	if err != nil {
-		return nil, err
-	}
 	a.v = m.sys.NewVariable(w, a.bound)
 	a.v.Data = a
 	a.resources = m.grabResources()
-	for _, r := range rs {
+	for _, r := range re.rs {
 		if !r.on {
 			a.done = true
 			a.err = ErrLinkFailed
@@ -616,15 +844,14 @@ func (m *Model) Communicate(src, dst string, bytes float64) (*Action, error) {
 			m.sys.RemoveVariable(a.v)
 			a.v = nil
 			m.releaseResources(a)
-			return a, nil
+			return a
 		}
 		m.sys.Expand(r.cnst, a.v, 1)
 		a.resources = append(a.resources, r)
 	}
-	a.lastSync = a.start
 	a.refreshEstimate(a.start)
 	m.heap.push(a)
-	return a, nil
+	return a
 }
 
 // ExecuteParallel starts a parallel task consuming CPU on several hosts
@@ -639,17 +866,9 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	if bytes != nil && len(bytes) != len(hosts) {
 		return nil, fmt.Errorf("surf: ExecuteParallel: bad bytes matrix")
 	}
-	a := &Action{
-		model:     m,
-		kind:      ActionParallel,
-		name:      fmt.Sprintf("ptask(%d hosts)", len(hosts)),
-		remaining: 1,
-		priority:  1,
-		heapIdx:   -1,
-		start:     m.eng.Now(),
-	}
-	a.seq = m.nextSeq
-	m.nextSeq++
+	a := m.newAction(ActionParallel, fmt.Sprintf("ptask(%d hosts)", len(hosts)))
+	a.remaining = 1
+	a.priority = 1
 	a.v = m.sys.NewVariable(1, 0)
 	a.v.Data = a
 	a.resources = m.grabResources()
@@ -675,11 +894,13 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		return a, nil
 	}
 	// reject unwinds a validation error: unlike abort, no action is
-	// handed out, but the variable and pooled slice still come back.
+	// handed out, so the action struct itself also comes back (on top
+	// of the variable and the pooled slice).
 	reject := func(err error) (*Action, error) {
 		m.sys.RemoveVariable(a.v)
 		a.v = nil
 		m.releaseResources(a)
+		m.poolAction(a)
 		return nil, err
 	}
 	for i, hn := range hosts {
@@ -706,11 +927,11 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 			if err != nil {
 				return reject(err)
 			}
-			rs, err := m.routeResources(hosts[i], hosts[j], route.Links)
+			re, err := m.resolveRoute(hosts[i], hosts[j], route)
 			if err != nil {
 				return reject(err)
 			}
-			for _, r := range rs {
+			for _, r := range re.rs {
 				if err := use(r, bytes[i][j]); err != nil {
 					return abort(err)
 				}
@@ -721,7 +942,6 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 		// Nothing to do: completes instantly.
 		a.remaining = 0
 	}
-	a.lastSync = a.start
 	a.refreshEstimate(a.start)
 	m.heap.push(a)
 	return a, nil
@@ -732,7 +952,7 @@ const eps = 1e-9
 // grabResources returns an empty resources slice, reusing a pooled one
 // when available.
 func (m *Model) grabResources() []*resource {
-	if n := len(m.resPool); n > 0 {
+	if n := len(m.resPool); poolingEnabled && n > 0 {
 		s := m.resPool[n-1]
 		m.resPool[n-1] = nil
 		m.resPool = m.resPool[:n-1]
@@ -747,7 +967,7 @@ func (m *Model) grabResources() []*resource {
 func (m *Model) releaseResources(a *Action) {
 	s := a.resources
 	a.resources = nil
-	if cap(s) == 0 || cap(s) > 64 {
+	if !poolingEnabled || cap(s) == 0 || cap(s) > 64 {
 		return // nothing to pool / fat ptask slice: let the GC have it
 	}
 	for i := range s {
@@ -793,7 +1013,7 @@ func (m *Model) NextEventTime(now float64) float64 {
 	if len(m.heap) == 0 {
 		return math.Inf(1)
 	}
-	return m.heap[0].eventKey()
+	return m.heap[0].key
 }
 
 // AdvanceTo implements core.Model. Progress bookkeeping is lazy
@@ -880,7 +1100,7 @@ func (m *Model) classifyDue(a *Action, t float64, finished, repush []*Action) (f
 func (m *Model) advanceSequential(t, maxKey float64) {
 	finished := m.finBuf[:0]
 	repush := m.repushBuf[:0]
-	for len(m.heap) > 0 && m.heap[0].eventKey() <= maxKey {
+	for len(m.heap) > 0 && m.heap[0].key <= maxKey {
 		finished, repush = m.classifyDue(m.heap.popMin(), t, finished, repush)
 	}
 	for _, a := range repush {
@@ -919,7 +1139,7 @@ func (m *Model) completeBatch(finished []*Action, t float64) {
 	}
 	hasCallbacks := false
 	for _, a := range finished {
-		if a.onComplete != nil {
+		if a.onComplete != nil || a.compl != nil {
 			hasCallbacks = true
 			break
 		}
@@ -1018,9 +1238,15 @@ func (m *Model) complete(a *Action, err error) {
 		a.waiter = nil
 		m.eng.Wake(w, err)
 	}
-	if a.onComplete != nil {
-		fn := a.onComplete
-		a.onComplete = nil
+	// Detach both handlers before invoking either: a handler may
+	// Release the action (simdag does), after which the struct belongs
+	// to the free list and must not be read again.
+	h, fn := a.compl, a.onComplete
+	a.compl, a.onComplete = nil, nil
+	if h != nil {
+		h.ActionDone(a, err)
+	}
+	if fn != nil {
 		fn(err)
 	}
 }
@@ -1035,10 +1261,10 @@ func (m *Model) setResourceState(r *resource, up bool) {
 	m.sys.SetCapacity(r.cnst, r.effectiveCapacity())
 	if !up {
 		var victims []*Action
-		for _, a := range m.heap {
-			for _, ar := range a.resources {
+		for _, e := range m.heap {
+			for _, ar := range e.a.resources {
 				if ar == r {
-					victims = append(victims, a)
+					victims = append(victims, e.a)
 					break
 				}
 			}

@@ -15,9 +15,16 @@ import (
 )
 
 // scheduleTraces arms the availability and state traces of a resource.
+// The empty-trace checks happen before the apply closures are built:
+// on trace-less platforms (the common case) constructing the model
+// must not allocate per-resource callbacks that would never fire.
 func (m *Model) scheduleTraces(r *resource, avail, state *trace.Trace) {
-	m.armTrace(avail, func(v float64) { m.setResourceAvail(r, v) })
-	m.armTrace(state, func(v float64) { m.setResourceState(r, v > 0.5) })
+	if avail != nil && avail.Len() > 0 {
+		m.armTrace(avail, func(v float64) { m.setResourceAvail(r, v) })
+	}
+	if state != nil && state.Len() > 0 {
+		m.armTrace(state, func(v float64) { m.setResourceState(r, v > 0.5) })
+	}
 }
 
 // armTrace drives one trace with one iterator-carrying timer. A state

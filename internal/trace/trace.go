@@ -10,6 +10,11 @@
 // Traces may be periodic: after the last event the sequence restarts,
 // shifted by the declared period. A non-periodic trace holds its last
 // value forever.
+//
+// Key invariant: a trace is immutable once parsed, and Iter unrolls
+// periodic repetitions lazily — consumers (surf's one-timer-per-trace
+// driver) pull events one at a time, so an infinite periodic trace
+// costs O(1) memory for the whole run.
 package trace
 
 import (
