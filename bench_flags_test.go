@@ -1,0 +1,13 @@
+// Benchmark knobs shared by the scaling/solver benchmarks. CI's race
+// lane runs the ParallelSolve benchmarks with -solver-workers 4 so the
+// worker pool is exercised at a fixed fan-out regardless of the
+// runner's GOMAXPROCS.
+package simgrid
+
+import "flag"
+
+// solverWorkers sets the worker-pool size used by the parallel modes of
+// BenchmarkMSGScalingParallelSolve and BenchmarkMaxMinParallelSolve.
+// 0 (the default) keeps the GOMAXPROCS-sized pool.
+var solverWorkers = flag.Int("solver-workers", 0,
+	"worker pool size for the parallel-solve benchmarks (0 = GOMAXPROCS)")

@@ -92,7 +92,8 @@ func BenchmarkMSGScaling(b *testing.B) {
 
 // BenchmarkMSGScalingParallelSolve pins the parallel component solve on
 // a multi-island MSG workload (many disjoint pairs are many independent
-// components): sequential forces workers=1, parallel uses GOMAXPROCS.
+// components): sequential forces workers=1, parallel uses GOMAXPROCS
+// unless -solver-workers pins the pool size.
 func BenchmarkMSGScalingParallelSolve(b *testing.B) {
 	const pairs, rounds = 2000, 10
 	pf := msgScalingPlatform(b, pairs, false)
@@ -101,6 +102,8 @@ func BenchmarkMSGScalingParallelSolve(b *testing.B) {
 			cfg := surf.DefaultConfig()
 			if mode == "sequential" {
 				cfg.SolverWorkers = 1
+			} else {
+				cfg.SolverWorkers = *solverWorkers
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

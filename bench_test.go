@@ -321,13 +321,17 @@ func benchMaxMinFlowChurn(b *testing.B, nFlows int, fullRecompute bool) {
 // a full recompute of the island federation (the multi-island platform
 // case): every island is an independent component, so the progressive
 // filling of the whole system fans out across the worker pool.
-// workers-1 is the sequential baseline; workers-auto uses GOMAXPROCS.
+// workers-1 is the sequential baseline; the second lane uses GOMAXPROCS
+// workers, or the pool size pinned by -solver-workers.
 func BenchmarkMaxMinParallelSolve(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
-		for _, workers := range []int{1, 0} {
+		for _, workers := range []int{1, *solverWorkers} {
 			mode := "workers-auto"
-			if workers == 1 {
+			switch {
+			case workers == 1:
 				mode = "workers-1"
+			case workers > 0:
+				mode = fmt.Sprintf("workers-%d", workers)
 			}
 			b.Run(fmt.Sprintf("flows-%d/%s", n, mode), func(b *testing.B) {
 				cb := newMaxMinFlowChurn(b, n)

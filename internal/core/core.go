@@ -58,7 +58,7 @@ func (s State) String() string {
 	case Done:
 		return "done"
 	default:
-		return fmt.Sprintf("state(%d)", int(s))
+		return fmt.Sprintf("state(%d)", int(s)) //lint:allow hot-sprintf cold path: unknown-state debug rendering, never on the activity path
 	}
 }
 
@@ -84,7 +84,7 @@ type DeadlockError struct {
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("core: simulation deadlocked with %d blocked processes: %v", len(e.Blocked), e.Blocked)
+	return fmt.Sprintf("core: simulation deadlocked with %d blocked processes: %v", len(e.Blocked), e.Blocked) //lint:allow hot-sprintf cold path: formatting a fatal diagnostic, the run is already over
 }
 
 // killedSignal unwinds a killed process's stack through panic/recover so
@@ -330,7 +330,7 @@ func (e *Engine) ProcessCount() int { return e.liveAll }
 // Processes returns the live processes sorted by PID.
 func (e *Engine) Processes() []*Process {
 	out := make([]*Process, 0, len(e.procs))
-	for _, p := range e.procs {
+	for _, p := range e.procs { //lint:allow det-maprange result is sorted by PID below before anything observes it
 		if p.state != Done {
 			out = append(out, p)
 		}

@@ -55,7 +55,7 @@ func NewRealNode(name string, arch Arch, reg *Registry) *RealNode {
 		name:  name,
 		arch:  arch,
 		reg:   reg,
-		start: time.Now(),
+		start: time.Now(), //lint:allow det-wallclock real-network backend: the node clock IS the wallclock here, nothing is simulated
 		inbox: make(chan *realMsg, 128),
 		cbs:   make(map[string]Callback),
 	}
@@ -71,7 +71,7 @@ func (n *RealNode) Arch() Arch { return n.arch }
 func (n *RealNode) Registry() *Registry { return n.reg }
 
 // Clock implements Node: seconds since the node started.
-func (n *RealNode) Clock() float64 { return time.Since(n.start).Seconds() }
+func (n *RealNode) Clock() float64 { return time.Since(n.start).Seconds() } //lint:allow det-wallclock real-network backend: the node clock IS the wallclock here, nothing is simulated
 
 // Sleep implements Node.
 func (n *RealNode) Sleep(d float64) error {
@@ -291,7 +291,7 @@ func (n *RealNode) Handle(timeout float64) error {
 // Bench implements Node: for a real node the code just runs; the
 // measurement is returned so applications can log it.
 func (n *RealNode) Bench(fn func()) (float64, error) {
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow det-wallclock real-network backend: Bench measures real execution by design
 	fn()
-	return time.Since(t0).Seconds(), nil
+	return time.Since(t0).Seconds(), nil //lint:allow det-wallclock real-network backend: Bench measures real execution by design
 }

@@ -333,9 +333,9 @@ func (n *simNode) Handle(timeout float64) error {
 // the benchmarked time (scaled by the host's availability), exactly
 // like GRAS_BENCH_ALWAYS_BEGIN/END.
 func (n *simNode) Bench(fn func()) (float64, error) {
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow det-wallclock execution-driven seam: real compute is measured once, then injected as simulated flops
 	fn()
-	dt := time.Since(t0).Seconds() * n.world.BenchScale
+	dt := time.Since(t0).Seconds() * n.world.BenchScale //lint:allow det-wallclock execution-driven seam: real compute is measured once, then injected as simulated flops
 	// The measurement machine is taken as the reference: dt seconds of
 	// real work become dt × Power flops on this host.
 	a, err := n.world.model.Execute(n.host.Name, dt*n.host.Power, 1)

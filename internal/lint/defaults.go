@@ -1,0 +1,80 @@
+package lint
+
+// DefaultConfig is the project's contract configuration: it binds each
+// rule to the packages and names whose invariants DESIGN.md states in
+// prose ("Enforced invariants" maps each prose rule to its rule ID
+// here). cmd/simgrid-lint and the module-clean regression test both
+// run with exactly this config.
+func DefaultConfig() *Config {
+	const mod = "repro"
+	internal := func(names ...string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[mod+"/internal/"+n] = true
+		}
+		return m
+	}
+	return &Config{
+		// The reproducibility kernel: every package on the simulated
+		// event path. A map walk or stray goroutine here changes event
+		// order between runs.
+		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag"),
+
+		// Everything under internal/ that participates in (or reports
+		// on) simulation runs. Deliberate wallclock reads — SMPI-style
+		// benching of real compute, solver self-timing in the
+		// validation drivers, the real-network gras backend — carry
+		// //lint:allow annotations stating exactly that.
+		WallclockPkgs: internal(
+			"core", "surf", "maxmin", "msg", "simdag",
+			"smpi", "gras", "pastry", "validate",
+			"trace", "platform", "packet", "deploy", "gantt",
+		),
+
+		// Packages PR 3 converted from Sprintf to concatenation on
+		// their name-building hot paths.
+		HotPkgs: internal("core", "surf", "maxmin", "msg", "simdag"),
+
+		// The only sanctioned goroutine spawn site on kernel paths:
+		// process creation. (The maxmin parallel-solve worker pool
+		// carries an inline allow annotation instead — it is an
+		// explicitly justified exception, not a standing grant.)
+		GoroutineAllow: map[string]bool{
+			"(*repro/internal/core.Engine).Spawn": true,
+		},
+
+		// Pooled types and the factory files allowed to construct or
+		// scrub them by composite literal (DESIGN.md "Object lifecycle
+		// & pooling" ownership table).
+		PooledTypes: map[string][]string{
+			"repro/internal/maxmin.Variable": {"factory.go"},
+			"repro/internal/surf.Action":     {"factory.go"},
+			"repro/internal/msg.pendingSend": {"factory.go"},
+			"repro/internal/msg.pendingRecv": {"factory.go"},
+		},
+
+		// Release vocabulary for the use-after-release dataflow check.
+		ReleaseMethods: map[string]bool{"Release": true},
+		ReleaseFuncs: map[string]bool{
+			"RemoveVariable": true,
+			"releaseSend":    true,
+			"releaseRecv":    true,
+			"poolAction":     true,
+		},
+
+		// Blocking simcall entry points: everything that parks the
+		// calling goroutine on the kernel.
+		BlockingFuncs: map[string]bool{
+			"(*repro/internal/core.Process).Block":        true,
+			"(*repro/internal/core.Process).BlockOn":      true,
+			"(*repro/internal/core.Process).blockOn":      true,
+			"(*repro/internal/core.Process).park":         true,
+			"(*repro/internal/core.Process).WaitActivity": true,
+			"(*repro/internal/core.Process).Sleep":        true,
+			"(*repro/internal/core.Process).Yield":        true,
+		},
+
+		// Completion handlers run in kernel context.
+		CompletionIfaces: []string{"repro/internal/surf.Completion"},
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the suppression mechanism, failure side: a reason-less
+// allow, an unknown rule name, and a stale allow are all findings (and
+// a reason-less allow does NOT suppress the violation it sits on).
+package allowbad
+
+func missingReason(m map[string]int) int {
+	n := 0
+	for range m { //lint:allow det-maprange
+		n++
+	}
+	return n
+}
+
+func unknownRule(m map[string]int) int {
+	n := 0
+	for range m { //lint:allow det-mapwalk order does not matter here
+		n++
+	}
+	return n
+}
+
+//lint:allow det-maprange nothing ranges over a map here anymore
+func stale(s []int) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}

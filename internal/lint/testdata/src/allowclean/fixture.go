@@ -1,0 +1,25 @@
+// Fixture for the suppression mechanism, clean side: every finding is
+// covered by a well-formed //lint:allow with a reason, on the same
+// line or alone on the line above. Running det-maprange over this
+// package must produce zero findings.
+package allowclean
+
+import "sort"
+
+func sameLine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:allow det-maprange keys are sorted below before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func lineAbove(m map[string]int) int {
+	n := 0
+	//lint:allow det-maprange only the count is observed, order cannot leak
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Fixture for det-goroutine: go statements are findings unless the
+// enclosing function is on the approved spawn-site allowlist (the test
+// config approves Spawn below).
+package detgoroutine
+
+func work() {}
+
+func rogue() {
+	go work() // want "go statement in .*rogue.* is not an approved spawn site"
+}
+
+func rogueNested() {
+	f := func() {
+		go work() // want "go statement in .*rogueNested.* is not an approved spawn site"
+	}
+	f()
+}
+
+// Spawn is the fixture's approved spawn site (cfg.GoroutineAllow).
+func Spawn(fn func()) {
+	go fn() // allowlisted: no finding
+}
+
+func plainCall() {
+	work() // not a go statement: fine
+}

@@ -1,0 +1,57 @@
+// Fixture for det-maprange: positive cases range over map-typed
+// values, negative cases iterate slices (including slices built from a
+// map and sorted).
+package detmaprange
+
+import "sort"
+
+type table map[string]int // named map type: still a map underneath
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func keysOnly(m map[string]int) int {
+	n := 0
+	for range m { // want "range over map"
+		n++
+	}
+	return n
+}
+
+func namedMap(t table) int {
+	n := 0
+	for k := range t { // want "range over map"
+		n += len(k)
+	}
+	return n
+}
+
+func sortedWalk(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceWalk(s []int) int {
+	total := 0
+	for _, v := range s { // slices iterate in index order: fine
+		total += v
+	}
+	return total
+}
+
+func channelWalk(c chan int) int {
+	total := 0
+	for v := range c { // channel receive order is program order: fine
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+// Fixture for det-wallclock: positive cases read the host clock or the
+// global math/rand source; negative cases use an explicitly seeded
+// local generator or pure time arithmetic.
+package detwallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() float64 {
+	t := time.Now() // want "wallclock read time.Now"
+	return float64(t.Unix())
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "wallclock read time.Since"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "wallclock read time.Until"
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand source via rand.Intn"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand source via rand.Float64"
+}
+
+func globalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want "global math/rand source via rand.Shuffle"
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+	return r.Intn(10)                   // methods on a local *rand.Rand are fine
+}
+
+func pureArithmetic(d time.Duration) time.Duration {
+	return d * 2 // no clock read: fine
+}

@@ -1,0 +1,20 @@
+// Fixture for hot-sprintf: fmt.Sprintf is a finding in hot-path
+// packages; concatenation and non-Sprintf fmt calls are fine.
+package hotsprintf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func name(i int) string {
+	return fmt.Sprintf("action-%d", i) // want "fmt.Sprintf in a hot-path package"
+}
+
+func nameConcat(i int) string {
+	return "action-" + strconv.Itoa(i) // the concat idiom: fine
+}
+
+func report(err error) error {
+	return fmt.Errorf("wrapped: %w", err) // Errorf is error-path, not name-building: fine
+}

@@ -1,0 +1,30 @@
+// Fixture for pool-literal, factory side: this file is configured as
+// the factory for Pooled, so its literals are sanctioned.
+package poolliteral
+
+// Pooled stands in for a pooled kernel object (maxmin.Variable,
+// surf.Action, …); the test config registers it with factory.go as its
+// only factory file.
+type Pooled struct {
+	id   int
+	data []byte
+}
+
+var pool []*Pooled
+
+// Grab is the factory: literals here are fine.
+func Grab() *Pooled {
+	if n := len(pool); n > 0 {
+		p := pool[n-1]
+		pool = pool[:n-1]
+		return p
+	}
+	return &Pooled{} // factory file: no finding
+}
+
+// Scrub resets a released object; the scrub literal is also sanctioned
+// here.
+func Scrub(p *Pooled) {
+	*p = Pooled{} // factory file: no finding
+	pool = append(pool, p)
+}

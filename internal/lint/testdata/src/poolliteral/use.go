@@ -1,0 +1,25 @@
+// Fixture for pool-literal, violation side: constructing or scrubbing
+// the pooled type outside its factory file.
+package poolliteral
+
+func bypassFactory() *Pooled {
+	return &Pooled{id: 1} // want "pooled type .*Pooled constructed by composite literal outside its factory"
+}
+
+func bypassValue() Pooled {
+	return Pooled{} // want "pooled type .*Pooled constructed by composite literal outside its factory"
+}
+
+func rogueScrub(p *Pooled) {
+	*p = Pooled{} // want "pooled type .*Pooled constructed by composite literal outside its factory"
+}
+
+type unpooled struct{ id int }
+
+func otherLiteral() *unpooled {
+	return &unpooled{id: 2} // not a pooled type: fine
+}
+
+func viaFactory() *Pooled {
+	return Grab() // the sanctioned path
+}

@@ -1,0 +1,65 @@
+// Fixture for pool-use-after-release: reads of a variable after a
+// Release()/RemoveVariable() statement in the same block are findings
+// until the variable is reassigned.
+package poolrelease
+
+type obj struct{ n int }
+
+func (o *obj) Release()              {}
+func (o *obj) Touch() int            { return o.n }
+func get() *obj                      { return &obj{} }
+func use(o *obj)                     {}
+func (s *sys) RemoveVariable(o *obj) {}
+
+type sys struct{}
+
+func methodRelease() {
+	o := get()
+	use(o)
+	o.Release()
+	use(o) // want "use of o after o.Release"
+}
+
+func funcRelease(s *sys) {
+	o := get()
+	s.RemoveVariable(o)
+	_ = o.Touch() // want "use of o after RemoveVariable"
+}
+
+func readThenRelease() {
+	o := get()
+	use(o)
+	o.Release() // last touch: fine
+}
+
+func reassigned() {
+	o := get()
+	o.Release()
+	o = get() // fresh object: o is safe again
+	use(o)
+}
+
+func branchScoped(cond bool) {
+	o := get()
+	if cond {
+		o.Release()
+		return // release only poisons this branch's tail
+	}
+	use(o) // only reached when not released: fine
+}
+
+func branchViolation(cond bool) {
+	o := get()
+	o.Release()
+	if cond {
+		use(o) // want "use of o after o.Release"
+	}
+}
+
+func laterInBranch(cond bool) {
+	o := get()
+	if cond {
+		o.Release()
+		use(o) // want "use of o after o.Release"
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture for simcall-in-handler: ActionDone implementations (the
+// completion-handler interface below is registered in the test config)
+// must not reach the blocking entry point proc.BlockOn through any
+// chain of in-package calls.
+package simcallhandler
+
+// Completion mirrors surf.Completion (registered via
+// cfg.CompletionIfaces).
+type Completion interface {
+	ActionDone(err error)
+}
+
+// proc mirrors core.Process; BlockOn is registered via
+// cfg.BlockingFuncs.
+type proc struct{}
+
+func (p *proc) BlockOn() error { return nil }
+
+var current proc
+
+// direct blocks straight from the handler.
+type direct struct{}
+
+func (d *direct) ActionDone(err error) { // want "completion handler .*direct.*ActionDone can reach blocking"
+	current.BlockOn()
+}
+
+// chained blocks through two in-package hops.
+type chained struct{}
+
+func (c *chained) ActionDone(err error) { // want "completion handler .*chained.*ActionDone can reach blocking"
+	hop1()
+}
+
+func hop1() { hop2() }
+func hop2() { current.BlockOn() }
+
+// clean never blocks: bookkeeping only.
+type clean struct{}
+
+func (c *clean) ActionDone(err error) {
+	record(err)
+}
+
+func record(err error) {}
+
+// notHandler has the method name but does not implement Completion
+// (wrong signature), so it is not a root.
+type notHandler struct{}
+
+func (n *notHandler) ActionDone(err error, extra int) {
+	current.BlockOn()
+}

@@ -20,7 +20,7 @@ func (s *System) crossCheck() {
 			continue
 		}
 		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
-			panic(fmt.Sprintf(
+			panic(fmt.Sprintf( //lint:allow hot-sprintf cold path: divergence panic under -tags=maxmincheck, the run is already dead
 				"maxmin: incremental solve diverged on V%d: incremental=%g full=%g\nincremental state:\n%s\nfull state:\n%s",
 				v.id, got, want, s.String(), clone.String()))
 		}

@@ -238,42 +238,6 @@ func (s *System) NewVariable(weight, bound float64) *Variable {
 	return v
 }
 
-// grabVariable pops a recycled variable off the free list, or
-// allocates one. Pooled variables were scrubbed and dequeued by
-// RemoveVariable; only the visit generation mark may be live, and it
-// can never equal a future generation.
-func (s *System) grabVariable() *Variable {
-	if n := len(s.varPool); poolingEnabled && n > 0 {
-		v := s.varPool[n-1]
-		s.varPool[n-1] = nil
-		s.varPool = s.varPool[:n-1]
-		return v
-	}
-	return &Variable{dirtyQ: -1}
-}
-
-// grabElem pops a recycled constraint element off the free list, or
-// allocates one.
-func (s *System) grabElem() *elem {
-	if n := len(s.elemPool); poolingEnabled && n > 0 {
-		e := s.elemPool[n-1]
-		s.elemPool[n-1] = nil
-		s.elemPool = s.elemPool[:n-1]
-		return e
-	}
-	return &elem{}
-}
-
-// releaseElem scrubs a detached element and returns it to the free
-// list. The element must already be unlinked from both adjacency
-// lists.
-func (s *System) releaseElem(e *elem) {
-	*e = elem{}
-	if poolingEnabled {
-		s.elemPool = append(s.elemPool, e)
-	}
-}
-
 // Expand records that v consumes factor×value capacity on c. Expanding
 // the same pair twice accumulates the factors (a route crossing the same
 // link twice consumes twice the bandwidth on it).
@@ -662,6 +626,7 @@ func (s *System) solveParallel(workers int, loads []float64) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow det-goroutine bounded worker pool over disjoint components; the merged result is bit-identical to the sequential solve
 		go func(w int) {
 			defer wg.Done()
 			active := s.workerActive[w]
@@ -853,7 +818,7 @@ func (s *System) Validate(tol float64) []string {
 			for _, e := range c.elems {
 				if e.v.value*e.factor > c.capacity+tol {
 					problems = append(problems,
-						fmt.Sprintf("fatpipe constraint %d: var %d uses %g > cap %g",
+						fmt.Sprintf("fatpipe constraint %d: var %d uses %g > cap %g", //lint:allow hot-sprintf cold path: Validate is a debugging aid, never on the solve path
 							c.id, e.v.id, e.v.value*e.factor, c.capacity))
 				}
 			}
@@ -865,7 +830,7 @@ func (s *System) Validate(tol float64) []string {
 		}
 		if u > c.capacity+tol {
 			problems = append(problems,
-				fmt.Sprintf("constraint %d overloaded: usage %g > cap %g", c.id, u, c.capacity))
+				fmt.Sprintf("constraint %d overloaded: usage %g > cap %g", c.id, u, c.capacity)) //lint:allow hot-sprintf cold path: Validate is a debugging aid, never on the solve path
 		}
 	}
 	// Max-min optimality: every active variable must be saturated —
@@ -898,7 +863,7 @@ func (s *System) Validate(tol float64) []string {
 		}
 		if !sat {
 			problems = append(problems,
-				fmt.Sprintf("variable %d not saturated: value %g, bound %g", v.id, v.value, v.bound))
+				fmt.Sprintf("variable %d not saturated: value %g, bound %g", v.id, v.value, v.bound)) //lint:allow hot-sprintf cold path: Validate is a debugging aid, never on the solve path
 		}
 	}
 	return problems

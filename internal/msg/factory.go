@@ -1,0 +1,57 @@
+package msg
+
+// This file is the factory for the pooled rendezvous records: the only
+// place allowed to construct or scrub a pendingSend/pendingRecv by
+// composite literal. simgrid-lint's pool-literal rule enforces that
+// scope — a literal anywhere else would bypass the free lists and
+// break the "pools hold only scrubbed structs" invariant (DESIGN.md,
+// "Object lifecycle & pooling").
+
+// grabSend returns a blank pendingSend, recycled when possible.
+func (env *Environment) grabSend() *pendingSend {
+	if n := len(env.sendPool); poolingEnabled && n > 0 {
+		ps := env.sendPool[n-1]
+		env.sendPool[n-1] = nil
+		env.sendPool = env.sendPool[:n-1]
+		return ps
+	}
+	return &pendingSend{}
+}
+
+// releaseSend scrubs a finished pendingSend (returning its transfer
+// action to the surf free list) and pools it. Only put may call it, on
+// its normal return paths: at that point the record is out of every
+// mailbox queue, its timeout timer is canceled, and the delivery
+// cross-references were severed by ActionDone — no reference survives.
+// A killed sender unwinds through a panic instead of returning, so its
+// record is simply never recycled (its still-armed timeout closure may
+// hold it).
+func (env *Environment) releaseSend(ps *pendingSend) {
+	if a := ps.action; a != nil {
+		a.Release() // no-op if somehow not done
+	}
+	*ps = pendingSend{}
+	if poolingEnabled {
+		env.sendPool = append(env.sendPool, ps)
+	}
+}
+
+// grabRecv returns a blank pendingRecv, recycled when possible.
+func (env *Environment) grabRecv() *pendingRecv {
+	if n := len(env.recvPool); poolingEnabled && n > 0 {
+		pr := env.recvPool[n-1]
+		env.recvPool[n-1] = nil
+		env.recvPool = env.recvPool[:n-1]
+		return pr
+	}
+	return &pendingRecv{}
+}
+
+// releaseRecv scrubs a finished pendingRecv and pools it; the same
+// ownership rules as releaseSend apply, with get as the only caller.
+func (env *Environment) releaseRecv(pr *pendingRecv) {
+	*pr = pendingRecv{}
+	if poolingEnabled {
+		env.recvPool = append(env.recvPool, pr)
+	}
+}

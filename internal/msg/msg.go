@@ -24,6 +24,7 @@ package msg
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/gantt"
@@ -169,7 +170,15 @@ func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
 		if up || !env.KillOnHostFailure {
 			return
 		}
-		for p := range env.byHost[h.Name] {
+		// Kill in PID order, not map order: each kill is an observable
+		// event (unwind, OnExit callbacks, wake of rendezvous peers),
+		// so the sweep's order is part of the replayable event log.
+		victims := make([]*Process, 0, len(env.byHost[h.Name]))
+		for p := range env.byHost[h.Name] { //lint:allow det-maprange victims are sorted by PID below before any observable effect
+			victims = append(victims, p)
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].cp.PID() < victims[j].cp.PID() })
+		for _, p := range victims {
 			p.cp.Kill()
 		}
 	}
@@ -441,55 +450,6 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 }
 
 // --- Environment internals ----------------------------------------------
-
-// grabSend returns a blank pendingSend, recycled when possible.
-func (env *Environment) grabSend() *pendingSend {
-	if n := len(env.sendPool); poolingEnabled && n > 0 {
-		ps := env.sendPool[n-1]
-		env.sendPool[n-1] = nil
-		env.sendPool = env.sendPool[:n-1]
-		return ps
-	}
-	return &pendingSend{}
-}
-
-// releaseSend scrubs a finished pendingSend (returning its transfer
-// action to the surf free list) and pools it. Only put may call it, on
-// its normal return paths: at that point the record is out of every
-// mailbox queue, its timeout timer is canceled, and the delivery
-// cross-references were severed by ActionDone — no reference survives.
-// A killed sender unwinds through a panic instead of returning, so its
-// record is simply never recycled (its still-armed timeout closure may
-// hold it).
-func (env *Environment) releaseSend(ps *pendingSend) {
-	if a := ps.action; a != nil {
-		a.Release() // no-op if somehow not done
-	}
-	*ps = pendingSend{}
-	if poolingEnabled {
-		env.sendPool = append(env.sendPool, ps)
-	}
-}
-
-// grabRecv returns a blank pendingRecv, recycled when possible.
-func (env *Environment) grabRecv() *pendingRecv {
-	if n := len(env.recvPool); poolingEnabled && n > 0 {
-		pr := env.recvPool[n-1]
-		env.recvPool[n-1] = nil
-		env.recvPool = env.recvPool[:n-1]
-		return pr
-	}
-	return &pendingRecv{}
-}
-
-// releaseRecv scrubs a finished pendingRecv and pools it; the same
-// ownership rules as releaseSend apply, with get as the only caller.
-func (env *Environment) releaseRecv(pr *pendingRecv) {
-	*pr = pendingRecv{}
-	if poolingEnabled {
-		env.recvPool = append(env.recvPool, pr)
-	}
-}
 
 func (env *Environment) mailbox(key mailboxKey) *mailbox {
 	mb := env.mailboxes[key]

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 )
 
 // RandomConfig parameterizes RandomLayered.
@@ -91,7 +92,7 @@ func RandomLayered(s *Simulation, cfg RandomConfig) ([]*Task, error) {
 	for l := 0; l < cfg.Layers; l++ {
 		cur = cur[:0]
 		for w := 0; w < cfg.Width; w++ {
-			t := s.NewTask(fmt.Sprintf("l%dt%d", l, w), uniform(cfg.MinFlops, cfg.MaxFlops))
+			t := s.NewTask("l"+strconv.Itoa(l)+"t"+strconv.Itoa(w), uniform(cfg.MinFlops, cfg.MaxFlops))
 			tasks = append(tasks, t)
 			cur = append(cur, t)
 			if l == 0 {

@@ -115,7 +115,7 @@ func (s State) String() string {
 	case Failed:
 		return "failed"
 	default:
-		return fmt.Sprintf("state(%d)", int(s))
+		return fmt.Sprintf("state(%d)", int(s)) //lint:allow hot-sprintf cold path: unknown-state debug rendering, never on the task path
 	}
 }
 

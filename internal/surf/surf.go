@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/maxmin"
@@ -291,15 +292,6 @@ func (a *Action) Release() {
 	m.poolAction(a)
 }
 
-// poolAction scrubs an action and returns it to the free list — the
-// single owner of the "pools hold only zeroed structs" invariant.
-func (m *Model) poolAction(a *Action) {
-	*a = Action{}
-	if poolingEnabled {
-		m.actPool = append(m.actPool, a)
-	}
-}
-
 // Cancel aborts the action, delivering ErrCanceled to its waiter.
 func (a *Action) Cancel() {
 	if !a.done {
@@ -549,28 +541,6 @@ func (m *Model) HostLoad(name string) float64 {
 	return r.cnst.Usage()
 }
 
-// newAction returns a blank action (recycled from the free list when
-// possible) with the shared creation bookkeeping filled in.
-func (m *Model) newAction(kind ActionKind, name string) *Action {
-	var a *Action
-	if n := len(m.actPool); poolingEnabled && n > 0 {
-		a = m.actPool[n-1]
-		m.actPool[n-1] = nil
-		m.actPool = m.actPool[:n-1]
-	} else {
-		a = &Action{}
-	}
-	a.model = m
-	a.kind = kind
-	a.name = name
-	a.heapIdx = -1
-	a.start = m.eng.Now()
-	a.lastSync = a.start
-	a.seq = m.nextSeq
-	m.nextSeq++
-	return a
-}
-
 // HostHandle is a resolved compute placement: callers that start many
 // executions on the same host (simdag tasks, schedulers) fetch it once
 // and skip the per-call name lookup. Handles are shared and stay valid
@@ -648,11 +618,19 @@ func (m *Model) linkResources(name string) []*resource {
 	if r, ok := m.links[name]; ok {
 		return []*resource{r}
 	}
-	var out []*resource
-	for key, r := range m.links {
+	// Split-duplex: collect the directional keys and sort them, so the
+	// order the two constraints are touched in (FailLink, SetBandwidth)
+	// is independent of map iteration order.
+	var keys []string
+	for key, r := range m.links { //lint:allow det-maprange matched keys are sorted below before use
 		if r.link != nil && r.link.Name == name && key != name {
-			out = append(out, r)
+			keys = append(keys, key)
 		}
+	}
+	sort.Strings(keys)
+	out := make([]*resource, len(keys))
+	for i, key := range keys {
+		out[i] = m.links[key]
 	}
 	return out
 }
@@ -866,7 +844,7 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	if bytes != nil && len(bytes) != len(hosts) {
 		return nil, fmt.Errorf("surf: ExecuteParallel: bad bytes matrix")
 	}
-	a := m.newAction(ActionParallel, fmt.Sprintf("ptask(%d hosts)", len(hosts)))
+	a := m.newAction(ActionParallel, "ptask("+strconv.Itoa(len(hosts))+" hosts)")
 	a.remaining = 1
 	a.priority = 1
 	a.v = m.sys.NewVariable(1, 0)
