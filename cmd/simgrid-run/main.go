@@ -22,8 +22,10 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/deploy"
+	"repro/internal/faults"
 	"repro/internal/gantt"
 	"repro/internal/msg"
 	"repro/internal/platform"
@@ -44,6 +46,16 @@ func main() {
 	width := flag.Int("width", 100, "gantt width")
 	solverWorkers := flag.Int("solver-workers", 0,
 		"worker pool bound for the parallel MaxMin component solve (0 = GOMAXPROCS, 1 = sequential)")
+	injectFaults := flag.Bool("faults", false,
+		"inject a seeded host-failure campaign; failed processes restart on host recovery")
+	faultSeed := flag.Int64("fault-seed", 1, "failure-campaign seed")
+	faultMTBF := flag.Float64("fault-mtbf", 10, "mean time between failures per host, s")
+	faultMTTR := flag.Float64("fault-mttr", 2, "mean time to repair per host, s")
+	faultShape := flag.Float64("fault-shape", 0,
+		"Weibull shape for failure lifetimes (0 = exponential)")
+	faultHosts := flag.String("fault-hosts", "",
+		"comma-separated hosts subject to failure (default: all platform hosts)")
+	faultHorizon := flag.Float64("fault-horizon", 60, "no failure starts at or after this time, s")
 	flag.Parse()
 	if *platformPath == "" || *deployPath == "" {
 		flag.Usage()
@@ -65,6 +77,44 @@ func main() {
 	if *showGantt {
 		env.Gantt = &gantt.Recorder{}
 	}
+	if *injectFaults {
+		// Every process killed by a host failure respawns when the host
+		// recovers: long-lived deployments survive the campaign.
+		env.RestartOnRecovery = true
+		hosts := strings.Split(*faultHosts, ",")
+		if *faultHosts == "" {
+			hosts = hosts[:0]
+			for _, h := range pf.Hosts() {
+				hosts = append(hosts, h.Name)
+			}
+		}
+		dist, shape := faults.Exponential, 0.0
+		if *faultShape > 0 {
+			dist, shape = faults.Weibull, *faultShape
+		}
+		sched, err := faults.Compile(*faultSeed, faults.Params{
+			Horizon: *faultHorizon,
+			Classes: []faults.Class{{
+				Name: "cli", Hosts: hosts,
+				MTBF: *faultMTBF, MTTR: *faultMTTR,
+				Dist: dist, Shape: shape,
+			}},
+		})
+		if err != nil {
+			log.Fatalf("compiling fault campaign: %v", err)
+		}
+		in, err := faults.Arm(sched, env.Model())
+		if err != nil {
+			log.Fatalf("arming fault campaign: %v", err)
+		}
+		in.OnEvent = func(ev faults.Event) {
+			state := "down"
+			if ev.Up {
+				state = "up"
+			}
+			fmt.Printf("[%10.6f] fault: host %s %s\n", env.Now(), ev.Name, state)
+		}
+	}
 
 	if err := deploy.Run(env, spec, registry()); err != nil {
 		log.Fatalf("simulation: %v", err)
@@ -82,6 +132,7 @@ func main() {
 func registry() deploy.Registry {
 	return deploy.Registry{
 		"master":  master,
+		"rmaster": rmaster,
 		"worker":  worker,
 		"pinger":  pinger,
 		"ponger":  ponger,
@@ -126,6 +177,85 @@ func master(p *msg.Process, args []string) error {
 		t := msg.NewTask(fmt.Sprintf("job%03d", i), flops, bytes)
 		if err := p.Put(t, workers[i%len(workers)], workChannel); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// rmaster <ntasks> <flops> <bytes> <worker hosts...> — the
+// failure-aware master for -faults runs: every unacknowledged job is
+// (re)dispatched with bounded per-attempt timeouts rotating over the
+// workers (msg.Retry), results are deduplicated by job name, and the
+// loop repeats until the whole bag is acknowledged. Pair it with
+// daemon workers: a worker killed by a host failure restarts on
+// recovery (RestartOnRecovery) and keeps serving.
+func rmaster(p *msg.Process, args []string) error {
+	if len(args) < 4 {
+		return fmt.Errorf("rmaster needs: ntasks flops bytes worker...")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		return err
+	}
+	flops, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return err
+	}
+	bytes, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return err
+	}
+	workers := args[3:]
+
+	remaining := make(map[string]bool, n)
+	order := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("job%03d", i)
+		remaining[name] = true
+		order = append(order, name)
+	}
+	if _, err := p.Spawn("collector", p.Host().Name, func(c *msg.Process) error {
+		dry := 0
+		for len(remaining) > 0 {
+			res, err := c.GetWithTimeout(resultChannel, 2.0)
+			if err != nil {
+				if dry++; dry == 60 {
+					return fmt.Errorf("no result for %d collect timeouts, %d jobs left", dry, len(remaining))
+				}
+				continue
+			}
+			dry = 0
+			delete(remaining, strings.TrimPrefix(res.Name, "result:"))
+		}
+		fmt.Printf("[%10.6f] rmaster: all %d results collected\n", c.Now(), n)
+		return nil
+	}); err != nil {
+		return err
+	}
+	rr := 0
+	const maxRounds = 100
+	for round := 0; len(remaining) > 0; round++ {
+		if round == maxRounds {
+			return fmt.Errorf("bag not finished after %d rounds, %d jobs left", maxRounds, len(remaining))
+		}
+		for _, name := range order {
+			if !remaining[name] {
+				continue
+			}
+			name := name
+			err := msg.Retry(p, msg.RetryPolicy{Attempts: 2 * len(workers), Backoff: 0.25}, func() error {
+				wn := workers[rr%len(workers)]
+				rr++
+				return p.PutWithTimeout(msg.NewTask(name, flops, bytes), wn, workChannel, 1.0)
+			})
+			if err != nil {
+				fmt.Printf("[%10.6f] rmaster: job %s undeliverable this round (%v)\n", p.Now(), name, err)
+			}
+		}
+		if len(remaining) > 0 {
+			if err := p.Sleep(1.0); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 )
 
@@ -90,6 +91,22 @@ func (e *DeadlockError) Error() string {
 // killedSignal unwinds a killed process's stack through panic/recover so
 // that its defers run even if user code ignores returned errors.
 type killedSignal struct{}
+
+// PanicError records a process panic caught at the spawn site: the
+// process that crashed, the panic value, and the goroutine stack at the
+// point of the panic. With Engine.ContainPanics set it becomes the
+// process's termination cause (Process.Err) and is collected in
+// Engine.Panics; otherwise it aborts the whole run through Run's error.
+type PanicError struct {
+	PID   int
+	Name  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: process %q (pid %d) panicked: %v", e.Name, e.PID, e.Value) //lint:allow hot-sprintf cold path: formatting a crash diagnostic
+}
 
 // Model is a resource model advancing a set of actions in virtual time.
 //
@@ -299,10 +316,22 @@ type Engine struct {
 	draining  bool  // shutdown drain: parkers must not advance time
 	idleDrive bool  // RunUntilIdle: no live-process requirement, quiescence ends the run
 	stopReq   bool  // Stop was called: the drive loop returns at the next round
+	inKernel  bool  // a kernel turn is running: a panic reaching a spawn recover came from a kernel phase
 
 	// MaxTime, when > 0, stops the simulation at that virtual time even
 	// if activities remain (useful for steady-state measurements).
 	MaxTime float64
+
+	// ContainPanics, when set, turns a panic in a process body into that
+	// process's failure (a *PanicError termination cause, collected in
+	// Panics) instead of aborting the whole run: one buggy actor cannot
+	// crash a million-activity simulation. Containment covers process
+	// functions only — a panic inside a kernel phase (model code, timer
+	// callbacks, completion handlers) leaves the engine mid-turn and is
+	// always fatal.
+	ContainPanics bool
+
+	panics []*PanicError // contained process panics, in occurrence order
 }
 
 // New returns an empty simulation engine at time 0.
@@ -376,12 +405,28 @@ func (e *Engine) Spawn(name string, host any, fn func(*Process)) *Process {
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
+						// Any panic reaching this recover means the unwinding
+						// goroutine held the kernel token: no kernel turn is
+						// live anymore, so the flag is reset either way.
+						fromKernel := e.inKernel
+						e.inKernel = false
 						if _, ok := r.(killedSignal); ok {
 							p.err = ErrKilled
 							return
 						}
-						// Real user panic: surface it through Run.
-						e.fatal = fmt.Errorf("core: process %q (pid %d) panicked: %v", p.name, p.pid, r)
+						pe := &PanicError{PID: p.pid, Name: p.name, Value: r, Stack: debug.Stack()}
+						if e.ContainPanics && !fromKernel {
+							// Contained: the panic is this process's failure
+							// alone; its defers already ran on the unwind.
+							p.err = pe
+							e.panics = append(e.panics, pe)
+							return
+						}
+						// Fatal: a raw process panic (containment off), or a
+						// panic that escaped a kernel phase running on this
+						// goroutine's stack — the engine is mid-turn and
+						// cannot continue either way.
+						e.fatal = pe
 					}
 				}()
 				p.fn(p)
@@ -620,6 +665,12 @@ func (e *Engine) Stop() { e.stopReq = true }
 // Kernel-driven workloads (simdag) assert it stays zero.
 func (e *Engine) Spawned() int { return e.nextPID - 1 }
 
+// Panics returns the contained process panics recorded so far (empty
+// unless ContainPanics is set), in occurrence order. Each entry carries
+// the crashing process's identity, the panic value, and the stack at
+// the point of the panic — the run's crash event log.
+func (e *Engine) Panics() []*PanicError { return e.panics }
+
 // kernelTurn advances the simulation while holding the kernel token
 // and the run queue is empty: it finds the next event, advances the
 // clock, completes due model actions, fires due timers, and dispatches
@@ -630,8 +681,15 @@ func (e *Engine) Spawned() int { return e.nextPID - 1 }
 // keeps running), and dispatchNone when the simulation ended (the
 // caller then owns the token and must return it to Run).
 func (e *Engine) kernelTurn(self *Process) dispatchResult {
+	// The turn runs model and timer callbacks: a panic escaping one of
+	// them unwinds through the carrier's spawn recover, which must treat
+	// it as fatal (the engine is mid-phase), never contain it. The flag
+	// is cleared before control can reach process code again — every
+	// return below, and the dispatch hand-off.
+	e.inKernel = true
 	for {
 		if e.fatal != nil || e.stopReq || (!e.idleDrive && e.live <= 0) {
+			e.inKernel = false
 			return dispatchNone
 		}
 
@@ -660,6 +718,7 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 				// Quiescence is the normal end of an idle drive: nothing
 				// left to simulate, whether or not activities never
 				// started (the caller inspects its own task states).
+				e.inKernel = false
 				return dispatchNone
 			}
 			var blocked []string
@@ -671,10 +730,12 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 				}
 			}
 			e.stopErr = &DeadlockError{Blocked: blocked, Calls: calls}
+			e.inKernel = false
 			return dispatchNone
 		}
 		if e.MaxTime > 0 && next > e.MaxTime {
 			e.now = e.MaxTime
+			e.inKernel = false
 			return dispatchNone
 		}
 
@@ -700,10 +761,13 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 		}
 
 		// Phase 1 of the next round: hand control to the first woken
-		// process; its dispatch chain continues the round.
+		// process; its dispatch chain continues the round. The flag drops
+		// before the hand-off: the woken process runs its own code.
+		e.inKernel = false
 		if r := e.dispatch(self); r != dispatchNone {
 			return r
 		}
+		e.inKernel = true
 	}
 }
 

@@ -1,0 +1,224 @@
+// Package faults implements deterministic fault injection: seeded
+// synthetic availability models (exponential and Weibull MTBF/MTTR per
+// host/link class) compiled into explicit failure/recovery schedules,
+// and an injector replaying a schedule onto a surf model through one
+// re-armable kernel timer — the same machinery as state traces, so a
+// "down" event carries exactly the FailHost/FailLink semantics the
+// rest of the stack already handles (processes killed and optionally
+// auto-restarted by msg, tasks failed and optionally rescheduled by
+// simdag).
+//
+// Determinism is the point: a schedule is a pure function of
+// (seed, Params). Each resource draws from its own sub-seeded
+// generator (seed mixed with a hash of the resource name), so adding a
+// resource to a class never shifts another resource's failure times,
+// and Schedule.WriteTo renders the whole campaign byte-for-byte
+// reproducibly — the replayable failure log the paper's availability
+// traces provide, without hand-writing a trace.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dist selects the lifetime distribution of a class.
+type Dist int
+
+// Supported distributions. Means are always the class's MTBF/MTTR.
+const (
+	// Exponential lifetimes: memoryless failures, the classic
+	// availability-trace model.
+	Exponential Dist = iota
+	// Weibull lifetimes with the class's Shape parameter: shape < 1
+	// models infant mortality (bursty failures), shape > 1 wear-out.
+	// Shape 1 degenerates to Exponential.
+	Weibull
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Exponential:
+		return "exponential"
+	case Weibull:
+		return "weibull"
+	default:
+		return "dist(?)"
+	}
+}
+
+// Class describes one failure class: a set of resources sharing
+// MTBF/MTTR statistics.
+type Class struct {
+	// Name labels the class in diagnostics (optional).
+	Name string
+	// Hosts and Links list the member resources by platform name.
+	Hosts []string
+	Links []string
+	// MTBF is the mean time between failures (mean up-time), seconds.
+	MTBF float64
+	// MTTR is the mean time to repair (mean down-time), seconds.
+	MTTR float64
+	// Dist selects the lifetime distribution (default Exponential).
+	Dist Dist
+	// Shape is the Weibull shape parameter k (> 0); ignored for
+	// Exponential.
+	Shape float64
+}
+
+// Params is a complete campaign description.
+type Params struct {
+	Classes []Class
+	// Horizon bounds the campaign: no failure starts at or after this
+	// time. Every failure is paired with its recovery even when the
+	// recovery lands past the horizon — a schedule never strands a
+	// resource down.
+	Horizon float64
+}
+
+// Event is one scheduled state flip.
+type Event struct {
+	At   float64 // absolute virtual time
+	Name string  // resource (host or link) name
+	Link bool    // link event (host otherwise)
+	Up   bool    // recovery (failure otherwise)
+}
+
+// Schedule is a compiled campaign: the events, time-ordered.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// Compile expands (seed, Params) into an explicit schedule. The result
+// is a pure function of its arguments: same inputs, byte-identical
+// schedule (see WriteTo).
+func Compile(seed int64, p Params) (*Schedule, error) {
+	if p.Horizon <= 0 {
+		return nil, errors.New("faults: Params.Horizon must be > 0")
+	}
+	s := &Schedule{Seed: seed}
+	for ci := range p.Classes {
+		c := &p.Classes[ci]
+		if c.MTBF <= 0 || c.MTTR <= 0 {
+			return nil, fmt.Errorf("faults: class %d (%s): MTBF and MTTR must be > 0", ci, c.Name)
+		}
+		if c.Dist == Weibull && !(c.Shape > 0) {
+			return nil, fmt.Errorf("faults: class %d (%s): Weibull needs Shape > 0", ci, c.Name)
+		}
+		for _, h := range c.Hosts {
+			s.compileResource(seed, c, h, false, p.Horizon)
+		}
+		for _, l := range c.Links {
+			s.compileResource(seed, c, l, true, p.Horizon)
+		}
+	}
+	// Per-resource streams are independent; the merged schedule is
+	// ordered by (time, kind, name, direction) — a total deterministic
+	// order with down before up at equal times, so a zero-length outage
+	// still flips the resource off and back on.
+	sort.Slice(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Link != b.Link {
+			return !a.Link // host events first
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return !a.Up && b.Up
+	})
+	return s, nil
+}
+
+// compileResource unrolls one resource's alternating up/down lifetime
+// draws into events, from its own sub-seeded stream.
+func (s *Schedule) compileResource(seed int64, c *Class, name string, link bool, horizon float64) {
+	rng := rand.New(rand.NewSource(seed ^ subSeed(name, link)))
+	t := 0.0
+	for {
+		t += draw(rng, c, c.MTBF) // up-time until the next failure
+		if t >= horizon {
+			return
+		}
+		s.Events = append(s.Events, Event{At: t, Name: name, Link: link})
+		t += draw(rng, c, c.MTTR) // down-time until recovery
+		// The paired recovery is always emitted, even past the horizon:
+		// campaigns end with every resource back up.
+		s.Events = append(s.Events, Event{At: t, Name: name, Link: link, Up: true})
+	}
+}
+
+// subSeed hashes a resource's identity into a seed perturbation, so
+// each resource owns an independent random stream: class membership
+// and declaration order never shift another resource's draws.
+func subSeed(name string, link bool) int64 {
+	h := fnv.New64a()
+	if link {
+		io.WriteString(h, "link:")
+	} else {
+		io.WriteString(h, "host:")
+	}
+	io.WriteString(h, name)
+	return int64(h.Sum64())
+}
+
+// draw samples one lifetime with the class's distribution and the
+// given mean.
+func draw(rng *rand.Rand, c *Class, mean float64) float64 {
+	switch c.Dist {
+	case Weibull:
+		// X = λ·(−ln U)^(1/k) with λ chosen so E[X] = mean:
+		// λ = mean / Γ(1 + 1/k).
+		lambda := mean / math.Gamma(1+1/c.Shape)
+		u := rng.Float64()
+		return lambda * math.Pow(-math.Log(1-u), 1/c.Shape)
+	default:
+		return rng.ExpFloat64() * mean
+	}
+}
+
+// Len returns the number of events.
+func (s *Schedule) Len() int { return len(s.Events) }
+
+// WriteTo renders the schedule as one line per event —
+//
+//	<time> host|link <name> down|up
+//
+// with times in %.9e — the byte-for-byte replayable form determinism
+// tests and CI diff across runs.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, ev := range s.Events {
+		b.WriteString(strconv.FormatFloat(ev.At, 'e', 9, 64))
+		if ev.Link {
+			b.WriteString(" link ")
+		} else {
+			b.WriteString(" host ")
+		}
+		b.WriteString(ev.Name)
+		if ev.Up {
+			b.WriteString(" up\n")
+		} else {
+			b.WriteString(" down\n")
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the schedule in WriteTo's line format.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	s.WriteTo(&b)
+	return b.String()
+}

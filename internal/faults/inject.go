@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/surf"
+)
+
+// Injector replays a compiled schedule onto a surf model. One
+// re-armable kernel timer carries a cursor through the events — the
+// same one-timer-per-stream shape surf uses for state traces — so a
+// campaign of any length costs a single timer and a single closure for
+// the whole run.
+type Injector struct {
+	sched *Schedule
+	m     *surf.Model
+	// OnEvent, when set, observes each event right after it is applied.
+	// It runs in kernel context: it must not issue simcalls. Set it
+	// before the first event fires (in practice, right after Arm).
+	OnEvent func(Event)
+	applied int
+}
+
+// Arm validates the schedule against the model's platform and arms the
+// replay timer. Events already in the past (At < now) are rejected —
+// an injector is armed before the run, not spliced into one.
+func Arm(sched *Schedule, m *surf.Model) (*Injector, error) {
+	pf := m.Platform()
+	for _, ev := range sched.Events {
+		if ev.Link {
+			if pf.Link(ev.Name) == nil {
+				return nil, fmt.Errorf("faults: schedule names unknown link %q", ev.Name)
+			}
+		} else if pf.Host(ev.Name) == nil {
+			return nil, fmt.Errorf("faults: schedule names unknown host %q", ev.Name)
+		}
+	}
+	in := &Injector{sched: sched, m: m}
+	if len(sched.Events) == 0 {
+		return in, nil
+	}
+	now := m.Engine().Now()
+	if sched.Events[0].At < now {
+		return nil, fmt.Errorf("faults: schedule starts at %g, before now (%g)", sched.Events[0].At, now)
+	}
+	// One cursor-carrying timer: fire, apply every event at this
+	// instant, re-arm at the next distinct time. Applying same-instant
+	// events in one firing keeps their relative order exactly the
+	// schedule's sort order regardless of timer-heap tie-breaking.
+	idx := 0
+	var tm *core.Timer
+	tm = m.Engine().At(sched.Events[0].At, func() {
+		at := sched.Events[idx].At
+		for idx < len(sched.Events) && sched.Events[idx].At == at {
+			in.apply(sched.Events[idx])
+			idx++
+		}
+		if idx < len(sched.Events) {
+			tm.Rearm(sched.Events[idx].At)
+		}
+	})
+	return in, nil
+}
+
+// apply flips one resource and notifies the observer. Failing or
+// restoring an already-failed/restored resource is benign at the surf
+// layer, so overlapping classes compose without bookkeeping here.
+func (in *Injector) apply(ev Event) {
+	var err error
+	switch {
+	case ev.Link && ev.Up:
+		err = in.m.RestoreLink(ev.Name)
+	case ev.Link:
+		err = in.m.FailLink(ev.Name)
+	case ev.Up:
+		err = in.m.RestoreHost(ev.Name)
+	default:
+		err = in.m.FailHost(ev.Name)
+	}
+	if err != nil {
+		// Names were validated at Arm time; surf only errors on unknown
+		// resources, so this is unreachable — but don't swallow it.
+		panic(err)
+	}
+	in.applied++
+	if in.OnEvent != nil {
+		in.OnEvent(ev)
+	}
+}
+
+// Applied reports how many events have been injected so far.
+func (in *Injector) Applied() int { return in.applied }
+
+// Schedule returns the schedule this injector replays.
+func (in *Injector) Schedule() *Schedule { return in.sched }

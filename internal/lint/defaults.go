@@ -17,8 +17,10 @@ func DefaultConfig() *Config {
 	return &Config{
 		// The reproducibility kernel: every package on the simulated
 		// event path. A map walk or stray goroutine here changes event
-		// order between runs.
-		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag"),
+		// order between runs. faults is included because a fault
+		// schedule's compile-time draws and injection-time callbacks are
+		// both on the byte-for-byte replay contract.
+		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag", "faults"),
 
 		// Everything under internal/ that participates in (or reports
 		// on) simulation runs. Deliberate wallclock reads — SMPI-style
@@ -26,7 +28,7 @@ func DefaultConfig() *Config {
 		// validation drivers, the real-network gras backend — carry
 		// //lint:allow annotations stating exactly that.
 		WallclockPkgs: internal(
-			"core", "surf", "maxmin", "msg", "simdag",
+			"core", "surf", "maxmin", "msg", "simdag", "faults",
 			"smpi", "gras", "pastry", "validate",
 			"trace", "platform", "packet", "deploy", "gantt",
 		),

@@ -45,6 +45,15 @@ func TestDetWallclockFixture(t *testing.T) {
 	Check(t, p, FixtureConfig(), "det-wallclock")
 }
 
+// The faultsched fixture pins the determinism contract the faults
+// package lives under (it is in both DetPkgs and WallclockPkgs):
+// schedule compilation must use locally seeded generators and ordered
+// expansion, so both rules run over the same fixture.
+func TestFaultSchedFixture(t *testing.T) {
+	p := fixture(t, "faultsched")
+	Check(t, p, FixtureConfig(), "det-wallclock", "det-maprange")
+}
+
 func TestDetGoroutineFixture(t *testing.T) {
 	p := fixture(t, "detgoroutine")
 	cfg := FixtureConfig()

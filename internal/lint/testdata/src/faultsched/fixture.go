@@ -1,0 +1,58 @@
+// Fixture for the faults-package determinism contract: a fault
+// schedule is a pure function of (seed, params), so its compiler must
+// draw from locally seeded generators only (det-wallclock) and expand
+// resource sets in a deterministic order (det-maprange). Positive
+// cases model the tempting-but-wrong shortcuts; negative cases the
+// sanctioned shapes internal/faults actually uses.
+package faultsched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type event struct {
+	at   float64
+	name string
+}
+
+// badCompile draws failure times from the global source and stamps the
+// schedule with the host clock — two different ways to break replay.
+func badCompile(hosts []string, mtbf float64) []event {
+	var out []event
+	for _, h := range hosts {
+		at := rand.ExpFloat64() * mtbf // want "global math/rand source via rand.ExpFloat64"
+		out = append(out, event{at, h})
+	}
+	stamp := time.Now() // want "wallclock read time.Now"
+	_ = stamp
+	return out
+}
+
+// badExpand walks the class membership as a map: the emitted event
+// order would differ between runs even with per-resource sub-seeding.
+func badExpand(classes map[string]float64) []event {
+	var out []event
+	for name, mtbf := range classes { // want "range over map map\\[string\\]float64"
+		out = append(out, event{mtbf, name})
+	}
+	return out
+}
+
+// goodCompile is the sanctioned shape: explicit seed through a local
+// generator, membership as a slice, merged order fixed by sorting.
+func goodCompile(seed int64, hosts []string, mtbf float64) []event {
+	var out []event
+	for _, h := range hosts {
+		rng := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+		out = append(out, event{rng.ExpFloat64() * mtbf, h})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

@@ -19,13 +19,13 @@ func (env *Environment) grabSend() *pendingSend {
 }
 
 // releaseSend scrubs a finished pendingSend (returning its transfer
-// action to the surf free list) and pools it. Only put may call it, on
-// its normal return paths: at that point the record is out of every
-// mailbox queue, its timeout timer is canceled, and the delivery
-// cross-references were severed by ActionDone — no reference survives.
-// A killed sender unwinds through a panic instead of returning, so its
-// record is simply never recycled (its still-armed timeout closure may
-// hold it).
+// action to the surf free list) and pools it. Callers must guarantee
+// no reference survives: the record is out of every mailbox queue, its
+// timeout timer is canceled, and the delivery cross-references were
+// severed by ActionDone. put's release defer establishes exactly that
+// on both the return and the unwind path (a killed sender's record is
+// dequeued or handed to ActionDone via abandonSend before recycling —
+// kill churn leaks nothing).
 func (env *Environment) releaseSend(ps *pendingSend) {
 	if a := ps.action; a != nil {
 		a.Release() // no-op if somehow not done

@@ -1,0 +1,57 @@
+package msg
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/surf"
+)
+
+// BenchmarkHostFailureKillSweep guards the PID-ordered kill sweep (and
+// the kill-unwind release path behind it) at 10k victims: one host
+// failure kills 10 000 processes blocked in Get, each unwinding through
+// the abandon/recycle path. The sweep plus unwinds must stay linear in
+// the victim count.
+func BenchmarkHostFailureKillSweep(b *testing.B) {
+	const victims = 10_000
+	pf := platform.New()
+	if err := pf.AddHost(&platform.Host{Name: "farm", Power: 1e9}); err != nil {
+		b.Fatal(err)
+	}
+	if err := pf.AddHost(&platform.Host{Name: "observer", Power: 1e9}); err != nil {
+		b.Fatal(err)
+	}
+	if err := pf.AddRoute("farm", "observer", []*platform.Link{
+		{Name: "l", Bandwidth: 1e8, Latency: 1e-4},
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := NewEnvironment(pf, surf.DefaultConfig())
+		for v := 0; v < victims; v++ {
+			ch := v // per-victim channel: the sweep, not queue scans, is under test
+			p, err := env.NewProcess("w"+strconv.Itoa(v), "farm", func(p *Process) error {
+				_, err := p.Get(ch)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Daemonize()
+		}
+		// The observer keeps the run live through the sweep; the timer
+		// fails the host once every victim is parked in its Get.
+		env.NewProcess("observer", "observer", func(p *Process) error { return p.Sleep(2) })
+		env.Engine().After(1, func() {
+			if err := env.Model().FailHost("farm"); err != nil {
+				b.Error(err)
+			}
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

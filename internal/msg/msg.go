@@ -79,6 +79,15 @@ type Process struct {
 	env  *Environment
 	host *platform.Host
 	exec *surf.Action // in-flight execution, for suspend propagation
+
+	fn          func(*Process) error // original body, kept for auto-restart
+	autoRestart bool
+
+	// OnFailure, when non-nil, is invoked in kernel context right before
+	// the process is killed by a host failure (and before any restart is
+	// queued). It must not issue simcalls; use it for accounting and
+	// event logs.
+	OnFailure func(err error)
 }
 
 // Environment owns a simulated platform and the processes running on
@@ -97,12 +106,21 @@ type Environment struct {
 	sendPool []*pendingSend
 	recvPool []*pendingRecv
 
+	// restartQ holds, per host, the processes killed by that host's
+	// failure that must respawn when it recovers, in kill (PID) order.
+	restartQ map[string][]*Process
+
 	// Gantt, when non-nil, records per-process compute/comm intervals.
 	Gantt *gantt.Recorder
 
 	// KillOnHostFailure controls whether processes on a failing host
 	// are killed (the paper's volatile-hosts behaviour). Default true.
 	KillOnHostFailure bool
+
+	// RestartOnRecovery, when set, queues every process killed by a host
+	// failure for respawn at that host's recovery, regardless of the
+	// per-process SetAutoRestart flag (the simgrid-run -faults switch).
+	RestartOnRecovery bool
 }
 
 type mailboxKey struct {
@@ -121,13 +139,18 @@ type pendingSend struct {
 	sender   *core.Process
 	action   *surf.Action
 	delivery *pendingRecv
+	// abandoned marks a record whose owner unwound (kill or contained
+	// panic) while a delivery was still pending: ownership moved to
+	// ActionDone, which recycles it after severing the cross-references.
+	abandoned bool
 }
 
 // pendingRecv is a receiver blocked in Get, recycled by get on return.
 type pendingRecv struct {
-	receiver *core.Process
-	task     *Task // filled in at completion
-	matched  *pendingSend
+	receiver  *core.Process
+	task      *Task // filled in at completion
+	matched   *pendingSend
+	abandoned bool // see pendingSend.abandoned
 }
 
 // ActionDone implements surf.Completion: the transfer finished (err is
@@ -135,17 +158,26 @@ type pendingRecv struct {
 // cross-references are severed here: a timeout timer firing later in
 // the same instant must fall through to its queue scan (a no-op)
 // instead of touching a transfer that already ended — that is what
-// makes the put/get release points safe.
+// makes the put/get release points safe. A side that unwound before
+// delivery left its record flagged abandoned; with the references
+// severed nothing can reach such a record anymore, so it is recycled
+// right here instead of by the (dead) owner's return path.
 func (ps *pendingSend) ActionDone(_ *surf.Action, cerr error) {
 	pr := ps.delivery
 	if cerr == nil {
 		pr.task = ps.task
 	}
-	eng := ps.src.env.eng
-	eng.Wake(ps.sender, cerr)
-	eng.Wake(pr.receiver, cerr)
+	env := ps.src.env
+	env.eng.Wake(ps.sender, cerr)
+	env.eng.Wake(pr.receiver, cerr)
 	pr.matched = nil
 	ps.delivery = nil
+	if pr.abandoned {
+		env.releaseRecv(pr)
+	}
+	if ps.abandoned {
+		env.releaseSend(ps)
+	}
 }
 
 type mailbox struct {
@@ -158,16 +190,25 @@ type mailbox struct {
 // calibration).
 func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
 	eng := core.New()
+	// MSG processes are user code: a panic in one is that process's
+	// failure (recorded with its stack in Engine.Panics), never the
+	// simulation's.
+	eng.ContainPanics = true
 	env := &Environment{
 		eng:               eng,
 		model:             surf.New(eng, pf, cfg),
 		pf:                pf,
 		mailboxes:         make(map[mailboxKey]*mailbox),
 		byHost:            make(map[string]map[*Process]bool),
+		restartQ:          make(map[string][]*Process),
 		KillOnHostFailure: true,
 	}
 	env.model.OnHostStateChange = func(h *platform.Host, up bool) {
-		if up || !env.KillOnHostFailure {
+		if up {
+			env.restartOn(h)
+			return
+		}
+		if !env.KillOnHostFailure {
 			return
 		}
 		// Kill in PID order, not map order: each kill is an observable
@@ -179,10 +220,41 @@ func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
 		}
 		sort.Slice(victims, func(i, j int) bool { return victims[i].cp.PID() < victims[j].cp.PID() })
 		for _, p := range victims {
+			if p.OnFailure != nil {
+				p.OnFailure(ErrHostFailed)
+			}
+			if p.autoRestart || env.RestartOnRecovery {
+				env.restartQ[h.Name] = append(env.restartQ[h.Name], p)
+			}
 			p.cp.Kill()
 		}
 	}
 	return env
+}
+
+// restartOn respawns, in their original kill order, the auto-restart
+// processes that died with host h. The respawn is a fresh process (new
+// PID, the original body run from the top) inheriting the old one's
+// name, host, daemon-ness, restart flag and OnFailure hook — the MSG
+// analogue of a node coming back and its services being re-launched by
+// init.
+func (env *Environment) restartOn(h *platform.Host) {
+	dead := env.restartQ[h.Name]
+	if len(dead) == 0 {
+		return
+	}
+	delete(env.restartQ, h.Name)
+	for _, old := range dead {
+		np, err := env.NewProcess(old.cp.Name(), h.Name, old.fn)
+		if err != nil {
+			continue // the host vanished from the platform: nothing to do
+		}
+		np.autoRestart = old.autoRestart
+		np.OnFailure = old.OnFailure
+		if old.cp.Daemon() {
+			np.Daemonize()
+		}
+	}
 }
 
 // Engine exposes the underlying kernel (for tests and advanced use).
@@ -210,7 +282,7 @@ func (env *Environment) NewProcess(name, hostName string, fn func(*Process) erro
 	if h == nil {
 		return nil, fmt.Errorf("msg: unknown host %q", hostName)
 	}
-	p := &Process{env: env, host: h}
+	p := &Process{env: env, host: h, fn: fn}
 	p.cp = env.eng.Spawn(name, h, func(cp *core.Process) {
 		if err := fn(p); err != nil {
 			// Recorded for OnExit inspection; the kernel treats a
@@ -259,6 +331,15 @@ func (p *Process) Sleep(d float64) error { return p.cp.Sleep(d) }
 
 // Daemonize marks the process as a daemon (infinite-loop servers).
 func (p *Process) Daemonize() { p.cp.Daemonize() }
+
+// SetAutoRestart opts the process into auto-restart: if it is killed
+// by its host failing, a fresh process with the same name, body, and
+// flags is respawned when the host recovers. The restart order of
+// several victims is their kill (PID) order — deterministic.
+func (p *Process) SetAutoRestart(on bool) { p.autoRestart = on }
+
+// AutoRestart reports whether the process is marked for auto-restart.
+func (p *Process) AutoRestart() bool { return p.autoRestart }
 
 // Kill terminates the target process (MSG_process_kill).
 func (p *Process) Kill() { p.cp.Kill() }
@@ -364,6 +445,22 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	ps.task, ps.src, ps.sender = task, p, p.cp
 
 	var timer *core.Timer
+	// The single release point, on return AND on unwind (kill, contained
+	// panic): the timeout timer is canceled first — once canceled its
+	// closure can never fire against a recycled record — and the record
+	// goes back to the pool, via the abandon path if the unwind left it
+	// queued or owning an undelivered transfer.
+	unwound := true
+	defer func() {
+		if timer != nil {
+			timer.Cancel()
+		}
+		if unwound {
+			p.env.abandonSend(key, ps)
+			return
+		}
+		p.env.releaseSend(ps)
+	}()
 	if timeout > 0 {
 		timer = p.env.eng.After(timeout, func() {
 			p.env.timeoutSend(key, ps)
@@ -374,10 +471,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 		pr := mb.recvQ[0]
 		mb.recvQ = mb.recvQ[1:]
 		if err := p.env.startTransfer(key, ps, pr); err != nil {
-			if timer != nil {
-				timer.Cancel()
-			}
-			p.env.releaseSend(ps)
+			unwound = false
 			return err
 		}
 	} else {
@@ -387,10 +481,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	p.ganttBegin(gantt.Comm, task.Name)
 	err := p.cp.BlockOn(core.SimcallSend)
 	p.ganttEndNow()
-	if timer != nil {
-		timer.Cancel()
-	}
-	p.env.releaseSend(ps)
+	unwound = false
 	return err
 }
 
@@ -413,6 +504,19 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	pr.receiver = p.cp
 
 	var timer *core.Timer
+	// Single release point, mirroring put: cancel the timeout first,
+	// then recycle — via the abandon path when unwinding.
+	unwound := true
+	defer func() {
+		if timer != nil {
+			timer.Cancel()
+		}
+		if unwound {
+			p.env.abandonRecv(key, pr)
+			return
+		}
+		p.env.releaseRecv(pr)
+	}()
 	if timeout > 0 {
 		timer = p.env.eng.After(timeout, func() {
 			p.env.timeoutRecv(key, pr)
@@ -423,12 +527,9 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 		ps := mb.sendQ[0]
 		mb.sendQ = mb.sendQ[1:]
 		if err := p.env.startTransfer(key, ps, pr); err != nil {
-			if timer != nil {
-				timer.Cancel()
-			}
 			// ps stays with its sender: the wake above hands it back to
 			// put, which releases it.
-			p.env.releaseRecv(pr)
+			unwound = false
 			return nil, err
 		}
 	} else {
@@ -438,11 +539,8 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	p.ganttBegin(gantt.Wait, "recv")
 	err := p.cp.BlockOn(core.SimcallRecv)
 	p.ganttEndNow()
-	if timer != nil {
-		timer.Cancel()
-	}
+	unwound = false
 	task := pr.task
-	p.env.releaseRecv(pr)
 	if err != nil {
 		return nil, err
 	}
@@ -484,6 +582,47 @@ func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendi
 		a.SetCompletion(ps)
 	}
 	return nil
+}
+
+// abandonSend recycles a pendingSend whose owner is unwinding (killed,
+// or a contained panic) instead of returning from put. Three cases:
+// a delivery is still pending (matched, ActionDone not yet run) — the
+// record is flagged and ownership moves to ActionDone, which recycles
+// it once the cross-references are severed; still queued — dequeue and
+// recycle now; already delivered (or never matched and dequeued by a
+// timeout) — nothing can reach it, recycle now. The caller has already
+// canceled the timeout timer.
+func (env *Environment) abandonSend(key mailboxKey, ps *pendingSend) {
+	if ps.delivery != nil {
+		ps.abandoned = true
+		return
+	}
+	if ps.action == nil {
+		mb := env.mailbox(key)
+		for i, q := range mb.sendQ {
+			if q == ps {
+				mb.sendQ = append(mb.sendQ[:i], mb.sendQ[i+1:]...)
+				break
+			}
+		}
+	}
+	env.releaseSend(ps)
+}
+
+// abandonRecv is abandonSend for the receiver side.
+func (env *Environment) abandonRecv(key mailboxKey, pr *pendingRecv) {
+	if pr.matched != nil {
+		pr.abandoned = true
+		return
+	}
+	mb := env.mailbox(key)
+	for i, q := range mb.recvQ {
+		if q == pr {
+			mb.recvQ = append(mb.recvQ[:i], mb.recvQ[i+1:]...)
+			break
+		}
+	}
+	env.releaseRecv(pr)
 }
 
 // timeoutSend aborts a pending or in-flight Put.

@@ -1,0 +1,185 @@
+package simdag
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRescheduleRunningTask: a running compute's host dies; under the
+// policy the task is re-placed on the surviving host and the DAG
+// completes with zero failures.
+func TestRescheduleRunningTask(t *testing.T) {
+	s := New(starPlatform(t, 2), exactConfig())
+	s.SetReschedulePolicy([]string{"h00", "h01"})
+	a := s.NewTask("A", 2e9) // 2 s on h00
+	b := s.NewTask("B", 1e9)
+	if err := s.AddDependency(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().After(1, func() {
+		if err := s.Model().FailHost("h00"); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := s.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedCount() != 0 || s.DoneCount() != 2 {
+		t.Fatalf("done=%d failed=%d, want 2/0 (A err: %v)", s.DoneCount(), s.FailedCount(), a.Err())
+	}
+	if a.Host() != "h01" || b.Host() != "h01" {
+		t.Errorf("placements A=%s B=%s, want both h01", a.Host(), b.Host())
+	}
+	// A restarts from scratch on h01 (2 Gflop/s): failed at 1, reruns
+	// [1,2]; B follows [2,2.5].
+	if !near(a.Finish(), 2) || !near(b.Finish(), 2.5) {
+		t.Errorf("finishes A=%g B=%g, want 2, 2.5", a.Finish(), b.Finish())
+	}
+}
+
+// TestRescheduleRederivesComms: the comm between two re-placed computes
+// must follow the new placements instead of pointing at the dead host.
+func TestRescheduleRederivesComms(t *testing.T) {
+	s := New(starPlatform(t, 2), exactConfig())
+	s.SetReschedulePolicy([]string{"h00", "h01"})
+	a := s.NewTask("A", 2e9)
+	b := s.NewTask("B", 1e9)
+	x := s.NewCommTask("A->B", 1e8)
+	for _, dep := range [][2]*Task{{a, x}, {x, b}} {
+		if err := s.AddDependency(dep[0], dep[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.ScheduleComm("h00", "h00"); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().After(1, func() {
+		if err := s.Model().FailHost("h00"); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := s.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedCount() != 0 || s.DoneCount() != 3 {
+		t.Fatalf("done=%d failed=%d, want 3/0", s.DoneCount(), s.FailedCount())
+	}
+	src, dst := x.Endpoints()
+	if src != "h01" || dst != "h01" {
+		t.Errorf("comm endpoints %s->%s, want h01->h01", src, dst)
+	}
+}
+
+// TestRescheduleExhaustedPool: with every policy host down, unplaced
+// computes fail with ErrUnplaceable and their dependents cancel —
+// FailedCount reflects the genuinely unplaceable work.
+func TestRescheduleExhaustedPool(t *testing.T) {
+	s := New(starPlatform(t, 2), exactConfig())
+	s.SetReschedulePolicy([]string{"h00", "h01"})
+	a := s.NewTask("A", 2e9)
+	b := s.NewTask("B", 1e9)
+	if err := s.AddDependency(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().After(1, func() {
+		for _, h := range []string{"h00", "h01"} {
+			if err := s.Model().FailHost(h); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if _, err := s.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedCount() != 2 || s.DoneCount() != 0 {
+		t.Fatalf("done=%d failed=%d, want 0/2", s.DoneCount(), s.FailedCount())
+	}
+	if !errors.Is(a.Err(), ErrUnplaceable) {
+		t.Errorf("A err = %v, want ErrUnplaceable", a.Err())
+	}
+	if !errors.Is(b.Err(), ErrDependencyFailed) {
+		t.Errorf("B err = %v, want ErrDependencyFailed", b.Err())
+	}
+}
+
+// TestRescheduleOffByDefault: without the policy the pre-PR semantics
+// hold — host failure fails the task and cancels its dependents.
+func TestRescheduleOffByDefault(t *testing.T) {
+	s := New(starPlatform(t, 2), exactConfig())
+	a := s.NewTask("A", 2e9)
+	b := s.NewTask("B", 1e9)
+	if err := s.AddDependency(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().After(1, func() {
+		if err := s.Model().FailHost("h00"); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := s.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedCount() != 2 {
+		t.Fatalf("failed=%d, want 2", s.FailedCount())
+	}
+	if !errors.Is(a.Err(), ErrHostFailed) {
+		t.Errorf("A err = %v, want ErrHostFailed", a.Err())
+	}
+}
+
+// TestRescheduleStrandedSchedulable: a Schedulable-but-unreleased task
+// placed on the dead host is pulled along by the pass even though no
+// action of its own failed.
+func TestRescheduleStrandedSchedulable(t *testing.T) {
+	s := New(starPlatform(t, 3), exactConfig())
+	s.SetReschedulePolicy([]string{"h00", "h01", "h02"})
+	a := s.NewTask("A", 2e9) // runs on h00, killed at t=1
+	c := s.NewTask("C", 1e9) // stranded: placed on h00, waiting on A
+	if err := s.AddDependency(a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Schedule("h00"); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine().After(1, func() {
+		if err := s.Model().FailHost("h00"); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := s.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedCount() != 0 || s.DoneCount() != 2 {
+		t.Fatalf("done=%d failed=%d, want 2/0", s.DoneCount(), s.FailedCount())
+	}
+	if a.Host() == "h00" || c.Host() == "h00" {
+		t.Errorf("placements A=%s C=%s still on the dead host", a.Host(), c.Host())
+	}
+}

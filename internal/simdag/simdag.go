@@ -299,6 +299,12 @@ type Simulation struct {
 	sweepArmed bool
 	depsDirty  bool // an edge was added since the last cycle check
 
+	// Reschedule policy (see SetReschedulePolicy): host pool, and the
+	// re-armable timer batching one min-min pass per instant.
+	reschedHosts []string
+	resched      *core.Timer
+	reschedArmed bool
+
 	// depEdges is the arena backing every task's dependency lists,
 	// walked through depIter. Entries are never removed — tasks live as
 	// long as their simulation.
@@ -752,10 +758,20 @@ func (s *Simulation) taskFinished(t *Task, err error) {
 	}
 }
 
-// failTask marks a task Failed and cancels its dependents
+// failTask handles a task failure: under the reschedule policy a
+// host-failure victim is diverted back to the scheduler; otherwise the
+// failure is terminal.
+func (s *Simulation) failTask(t *Task, err error) {
+	if s.divert(t, err) {
+		return
+	}
+	s.failTerminal(t, err)
+}
+
+// failTerminal marks a task Failed and cancels its dependents
 // transitively: a workflow with a failed branch keeps executing the
 // independent branches, exactly like a workflow engine would.
-func (s *Simulation) failTask(t *Task, err error) {
+func (s *Simulation) failTerminal(t *Task, err error) {
 	t.state = Failed
 	t.err = err
 	t.finish = s.eng.Now()
