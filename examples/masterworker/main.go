@@ -65,38 +65,41 @@ func main() {
 
 	done := make(map[string]int)
 
+	// The worker loop is declarative: one immutable chain description
+	// shared by every worker, executed by the kernel itself — no
+	// goroutine per worker. The master side below stays goroutine-based
+	// (its control flow re-dispatches, deduplicates, retries — exactly
+	// the irregular logic chains are not for), which is the intended
+	// hybrid: chains for the regular hot loop, processes for the brains.
+	workerSpec := msg.NewChain().
+		Loop(0).
+		Get(workChannel).
+		StopIf(func(t *msg.Task) bool { return t.Data == "poison" }).
+		ComputeTask().
+		Do(func(c *msg.ChainProc) { done[c.Name()]++ }).
+		PutTask(func(c *msg.ChainProc) *msg.Task {
+			return msg.NewTask("result:"+c.Task().Name, 0, 1e4)
+		}, "master", resultChannel).
+		End().
+		MustBuild()
+
 	for _, wn := range workerNames {
 		wn := wn
-		p, err := env.NewProcess(wn, wn, func(p *msg.Process) error {
-			for {
-				task, err := p.Get(workChannel)
-				if err != nil {
-					return err
-				}
-				if task.Data == "poison" {
-					return nil
-				}
-				if err := p.Execute(task); err != nil {
-					return err
-				}
-				done[p.Name()]++
-				res := msg.NewTask("result:"+task.Name, 0, 1e4)
-				if err := p.Put(res, "master", resultChannel); err != nil {
-					return err
-				}
-			}
-		})
-		must(err)
+		var cfg *msg.ChainConfig
 		if *churn {
 			// Churn mode: workers are daemons (the master's completion
-			// ends the run), die with their host, and reincarnate on
+			// ends the run), die with their host, and re-arm on
 			// recovery.
-			p.Daemonize()
-			p.SetAutoRestart(true)
-			p.OnFailure = func(error) {
-				fmt.Printf("[%10.6f] %s: killed by host failure\n", env.Now(), wn)
+			cfg = &msg.ChainConfig{
+				Daemon:      true,
+				AutoRestart: true,
+				OnFailure: func(error) {
+					fmt.Printf("[%10.6f] %s: killed by host failure\n", env.Now(), wn)
+				},
 			}
 		}
+		_, err := env.StartChain(wn, wn, workerSpec, cfg)
+		must(err)
 	}
 
 	if *churn {

@@ -5,6 +5,12 @@
 //
 //	go run ./examples/pingpong -mode sim
 //	go run ./examples/pingpong -mode real
+//	go run ./examples/pingpong -mode chain
+//
+// -mode chain is the simulation-only declarative rewrite: the same
+// exchange expressed as two activity chains the kernel executes
+// directly, spawning zero goroutines — the processless form that
+// scales to millions of such agents.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"log"
 
 	"repro/internal/gras"
+	"repro/internal/msg"
 	"repro/internal/platform"
 	"repro/internal/surf"
 )
@@ -85,15 +92,16 @@ func main() {
 		runSim()
 	case "real":
 		runReal()
+	case "chain":
+		runChain()
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
 }
 
-// runSim executes both agents inside the simulator, on a WAN-like link,
-// with the client on sparc and the server on x86 (payloads are
-// converted across endianness by the NDR wire format).
-func runSim() {
+// pingpongPlatform is the WAN-like two-host world shared by the sim
+// and chain modes.
+func pingpongPlatform() *platform.Platform {
 	pf := platform.New()
 	must(pf.AddHost(&platform.Host{Name: "cli", Power: 1e9,
 		Properties: map[string]string{"arch": "sparc"}}))
@@ -102,7 +110,78 @@ func runSim() {
 	must(pf.AddRoute("cli", "srv", []*platform.Link{
 		{Name: "wan", Bandwidth: 1.25e6, Latency: 0.05},
 	}))
-	w := gras.NewWorld(pf, surf.DefaultConfig())
+	return pf
+}
+
+// runChain is the same exchange as runSim, written declaratively: the
+// control flow (sleep, send, receive, compute, reply) becomes a chain
+// description the kernel advances via completion callbacks. No process
+// bodies, no goroutines — note the spawn counter printed at the end.
+func runChain() {
+	const (
+		pingChannel = 1
+		pongChannel = 2
+	)
+	env := msg.NewEnvironment(pingpongPlatform(), surf.DefaultConfig())
+	exitErrs := map[string]error{}
+
+	serverSpec := msg.NewChain().
+		Get(pingChannel).
+		Do(func(c *msg.ChainProc) {
+			fmt.Printf("[%8.4fs] %s: ping(%d) received, ponging back\n",
+				c.Now(), c.Name(), c.Task().Data.(int32))
+		}).
+		// The benched computation of the GRAS server, as explicit flops.
+		Compute("bench", 2e6).
+		PutTask(func(c *msg.ChainProc) *msg.Task {
+			t := msg.NewTask("pong", 0, 64)
+			t.Data = -c.Task().Data.(int32)
+			return t
+		}, "cli", pongChannel).
+		MustBuild()
+
+	ping := int32(1234)
+	clientSpec := msg.NewChain().
+		Sleep(1). // wait for the server startup
+		PutTask(func(*msg.ChainProc) *msg.Task {
+			t := msg.NewTask("ping", 0, 64)
+			t.Data = ping
+			return t
+		}, "srv", pingChannel).
+		Do(func(c *msg.ChainProc) {
+			fmt.Printf("[%8.4fs] %s: ping(%d) sent\n", c.Now(), c.Name(), ping)
+		}).
+		Get(pongChannel).
+		Do(func(c *msg.ChainProc) {
+			fmt.Printf("[%8.4fs] %s: pong(%d) received\n",
+				c.Now(), c.Name(), c.Task().Data.(int32))
+		}).
+		MustBuild()
+
+	for _, agent := range []struct {
+		name, host string
+		spec       *msg.Chain
+	}{{"server", "srv", serverSpec}, {"client", "cli", clientSpec}} {
+		agent := agent
+		_, err := env.StartChain(agent.name, agent.host, agent.spec,
+			&msg.ChainConfig{OnExit: func(err error) { exitErrs[agent.name] = err }})
+		must(err)
+	}
+	must(env.Run())
+	for _, agent := range []string{"server", "client"} {
+		if err := exitErrs[agent]; err != nil {
+			log.Fatalf("%s failed: %v", agent, err)
+		}
+	}
+	fmt.Printf("chain mode done at virtual t=%.4f s (%d goroutines spawned)\n",
+		env.Now(), env.Engine().GoroutineSpawns())
+}
+
+// runSim executes both agents inside the simulator, on a WAN-like link,
+// with the client on sparc and the server on x86 (payloads are
+// converted across endianness by the NDR wire format).
+func runSim() {
+	w := gras.NewWorld(pingpongPlatform(), surf.DefaultConfig())
 	must(w.Launch("server", "srv", server))
 	must(w.Launch("client", "cli", client("srv")))
 	must(w.Run())

@@ -146,7 +146,7 @@ type Process struct {
 	engine *Engine
 	fn     func(*Process)
 
-	resume  chan error // per-process handoff (value: wake error)
+	resume  chan error // handoff channel (value: wake error); aliases the carrier worker's channel
 	state   State
 	call    SimcallKind // simcall the process is blocked in
 	wakeErr error
@@ -308,8 +308,11 @@ type Engine struct {
 	stats   SimcallStats
 
 	modelNext []float64 // per-model next event time, filled each round
-	live      int       // non-daemon processes not yet Done
+	live      int       // non-daemon processes (and external entities) not yet Done
 	liveAll   int       // all processes not yet Done
+	goSpawns  int       // fresh carrier goroutines created for this engine
+	goLive    int       // processes currently backed by a goroutine (not Done)
+	goPeak    int       // high-water mark of goLive
 	fatal     error
 	running   bool
 	stopErr   error // deadlock error recorded by the kernel turn
@@ -321,6 +324,14 @@ type Engine struct {
 	// MaxTime, when > 0, stops the simulation at that virtual time even
 	// if activities remain (useful for steady-state measurements).
 	MaxTime float64
+
+	// ExternalBlocked, when set, names the external live entities (see
+	// AddLive) that are currently blocked, aligned with the typed call
+	// each is stuck in. The kernel consults it only to complete a
+	// deadlock report: external entities keep Run going, so when
+	// nothing can progress their identities belong in the error next
+	// to the blocked processes.
+	ExternalBlocked func() (names []string, calls []SimcallKind)
 
 	// ContainPanics, when set, turns a panic in a process body into that
 	// process's failure (a *PanicError termination cause, collected in
@@ -381,6 +392,11 @@ func (e *Engine) ProcessByPID(pid int) *Process {
 // when the engine next schedules it (immediately at the current virtual
 // time if the simulation is running). host is an opaque cookie exposed
 // via Process.Host.
+//
+// The carrier goroutine comes from the package-level worker pool when
+// one is parked (no stack allocation; Engine.GoroutineSpawns does not
+// grow) and is created fresh otherwise — see factory.go for the
+// recycle contract.
 func (e *Engine) Spawn(name string, host any, fn func(*Process)) *Process {
 	p := &Process{
 		pid:    e.nextPID,
@@ -388,61 +404,60 @@ func (e *Engine) Spawn(name string, host any, fn func(*Process)) *Process {
 		host:   host,
 		engine: e,
 		fn:     fn,
-		resume: make(chan error),
 		state:  Created,
 	}
 	e.nextPID++
 	e.procs[p.pid] = p
 	e.live++
 	e.liveAll++
+	e.goLive++
+	if e.goLive > e.goPeak {
+		e.goPeak = e.goLive
+	}
 
-	go func() {
-		err := <-p.resume // wait for first schedule
-		if err == nil && p.killed {
-			err = ErrKilled // killed before it ever ran
-		}
-		if err == nil {
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						// Any panic reaching this recover means the unwinding
-						// goroutine held the kernel token: no kernel turn is
-						// live anymore, so the flag is reset either way.
-						fromKernel := e.inKernel
-						e.inKernel = false
-						if _, ok := r.(killedSignal); ok {
-							p.err = ErrKilled
-							return
-						}
-						pe := &PanicError{PID: p.pid, Name: p.name, Value: r, Stack: debug.Stack()}
-						if e.ContainPanics && !fromKernel {
-							// Contained: the panic is this process's failure
-							// alone; its defers already ran on the unwind.
-							p.err = pe
-							e.panics = append(e.panics, pe)
-							return
-						}
-						// Fatal: a raw process panic (containment off), or a
-						// panic that escaped a kernel phase running on this
-						// goroutine's stack — the engine is mid-turn and
-						// cannot continue either way.
-						e.fatal = pe
-					}
-				}()
-				p.fn(p)
-			}()
-		} else {
-			p.err = err
-		}
-		e.terminate(p)
-		// The dying goroutine passes the kernel token on itself before
-		// exiting (self is nil: a Done process is never re-scheduled).
-		e.releaseToken(nil)
-	}()
+	w := grabWorker()
+	if w == nil {
+		w = newWorker()
+		e.goSpawns++
+	}
+	w.proc = p
+	p.resume = w.resume
 
 	p.state = Runnable
 	e.runQ = append(e.runQ, p)
 	return p
+}
+
+// runProcessBody executes a process function on the current (worker)
+// goroutine, converting panics per the containment contract.
+func runProcessBody(e *Engine, p *Process) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Any panic reaching this recover means the unwinding
+			// goroutine held the kernel token: no kernel turn is
+			// live anymore, so the flag is reset either way.
+			fromKernel := e.inKernel
+			e.inKernel = false
+			if _, ok := r.(killedSignal); ok {
+				p.err = ErrKilled
+				return
+			}
+			pe := &PanicError{PID: p.pid, Name: p.name, Value: r, Stack: debug.Stack()}
+			if e.ContainPanics && !fromKernel {
+				// Contained: the panic is this process's failure
+				// alone; its defers already ran on the unwind.
+				p.err = pe
+				e.panics = append(e.panics, pe)
+				return
+			}
+			// Fatal: a raw process panic (containment off), or a
+			// panic that escaped a kernel phase running on this
+			// goroutine's stack — the engine is mid-turn and
+			// cannot continue either way.
+			e.fatal = pe
+		}
+	}()
+	p.fn(p)
 }
 
 // terminate finalizes a process in kernel handoff context.
@@ -454,6 +469,7 @@ func (e *Engine) terminate(p *Process) {
 			e.live--
 		}
 		e.liveAll--
+		e.goLive--
 		for i := len(p.onExit) - 1; i >= 0; i-- {
 			p.onExit[i](p.err)
 		}
@@ -661,9 +677,46 @@ func (e *Engine) RunUntilIdle() error {
 // next run (Run and RunUntilIdle clear it on entry).
 func (e *Engine) Stop() { e.stopReq = true }
 
-// Spawned returns the number of processes ever spawned on this engine.
-// Kernel-driven workloads (simdag) assert it stays zero.
+// Spawned returns the number of LOGICAL process starts on this engine:
+// every Spawn call plus every external process start registered
+// through AllocPID (msg's declarative activity chains). It counts
+// starts, not goroutines — pooled-worker reuse and processless chains
+// both grow it without creating a stack; GoroutineSpawns counts the
+// stacks. Kernel-driven workloads (simdag) assert it stays zero.
 func (e *Engine) Spawned() int { return e.nextPID - 1 }
+
+// GoroutineSpawns returns the number of fresh carrier goroutines
+// created on behalf of this engine's processes: the raw `go`
+// statements, as opposed to Spawned's logical starts. With the worker
+// pool warm (or a workload expressed as declarative chains) it stays
+// at zero while Spawned keeps counting.
+func (e *Engine) GoroutineSpawns() int { return e.goSpawns }
+
+// GoroutinesPeak returns the high-water mark of simultaneously live
+// process goroutines on this engine — the real stack population a run
+// paid for, regardless of how many logical processes cycled through
+// those stacks.
+func (e *Engine) GoroutinesPeak() int { return e.goPeak }
+
+// AllocPID reserves and returns the next process identifier for an
+// external logical process — one driven directly by the kernel with no
+// goroutine behind it (msg's declarative activity chains). External
+// starts share the PID space and the Spawned count with goroutine
+// processes, so "logical process starts" means the same thing across
+// both forms.
+func (e *Engine) AllocPID() int {
+	pid := e.nextPID
+	e.nextPID++
+	return pid
+}
+
+// AddLive adjusts the count of live external entities: kernel-driven
+// logical processes (msg activity chains) that must keep Run going
+// exactly like a live non-daemon process would. Layers register +1 per
+// non-daemon entity at start and -1 at its termination. Unlike
+// processes, external entities are not killed at shutdown — their
+// owner layer tears them down.
+func (e *Engine) AddLive(delta int) { e.live += delta }
 
 // Panics returns the contained process panics recorded so far (empty
 // unless ContainPanics is set), in occurrence order. Each entry carries
@@ -728,6 +781,11 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 					blocked = append(blocked, p.name)
 					calls = append(calls, p.call)
 				}
+			}
+			if e.ExternalBlocked != nil {
+				names, ecalls := e.ExternalBlocked()
+				blocked = append(blocked, names...)
+				calls = append(calls, ecalls...)
 			}
 			e.stopErr = &DeadlockError{Blocked: blocked, Calls: calls}
 			e.inKernel = false

@@ -1,0 +1,9 @@
+//go:build nopool
+
+package core
+
+// poolingEnabled gates the package-level worker pool. This is the
+// -tags=nopool build: every process gets a fresh, single-use
+// goroutine, the reference behaviour the pooled build must be
+// indistinguishable from.
+var poolingEnabled = false

@@ -1,0 +1,11 @@
+//go:build !nopool
+
+package core
+
+// poolingEnabled gates the package-level worker pool (parked process
+// goroutines reused across process and engine lifetimes). Build with
+// -tags=nopool to spawn a fresh, single-use goroutine per process —
+// the reference behaviour the pool-reuse equivalence suite replays
+// against. A var, not a const, so in-package tests can flip it at
+// runtime.
+var poolingEnabled = true

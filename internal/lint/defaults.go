@@ -38,11 +38,13 @@ func DefaultConfig() *Config {
 		HotPkgs: internal("core", "surf", "maxmin", "msg", "simdag"),
 
 		// The only sanctioned goroutine spawn site on kernel paths:
-		// process creation. (The maxmin parallel-solve worker pool
-		// carries an inline allow annotation instead — it is an
-		// explicitly justified exception, not a standing grant.)
+		// worker creation in the core pool (Engine.Spawn now grabs a
+		// pooled worker and falls back to newWorker). (The maxmin
+		// parallel-solve worker pool carries an inline allow annotation
+		// instead — it is an explicitly justified exception, not a
+		// standing grant.)
 		GoroutineAllow: map[string]bool{
-			"(*repro/internal/core.Engine).Spawn": true,
+			"repro/internal/core.newWorker": true,
 		},
 
 		// Pooled types and the factory files allowed to construct or
@@ -53,6 +55,8 @@ func DefaultConfig() *Config {
 			"repro/internal/surf.Action":     {"factory.go"},
 			"repro/internal/msg.pendingSend": {"factory.go"},
 			"repro/internal/msg.pendingRecv": {"factory.go"},
+			"repro/internal/msg.ChainProc":   {"factory.go"},
+			"repro/internal/core.worker":     {"factory.go"},
 		},
 
 		// Release vocabulary for the use-after-release dataflow check.
@@ -61,6 +65,8 @@ func DefaultConfig() *Config {
 			"RemoveVariable": true,
 			"releaseSend":    true,
 			"releaseRecv":    true,
+			"releaseChain":   true,
+			"releaseWorker":  true,
 			"poolAction":     true,
 		},
 

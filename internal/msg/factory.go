@@ -55,3 +55,32 @@ func (env *Environment) releaseRecv(pr *pendingRecv) {
 		env.recvPool = append(env.recvPool, pr)
 	}
 }
+
+// grabChain returns a blank ChainProc, recycled when possible: chain
+// churn (millions of short-lived chains, or auto-restart cycling)
+// reuses terminated instances instead of allocating fresh ones.
+func (env *Environment) grabChain() *ChainProc {
+	if n := len(env.chainPool); poolingEnabled && n > 0 {
+		c := env.chainPool[n-1]
+		env.chainPool[n-1] = nil
+		env.chainPool = env.chainPool[:n-1]
+		return c
+	}
+	return &ChainProc{}
+}
+
+// releaseChain scrubs a terminated ChainProc and pools it. The caller
+// (teardown) guarantees the chain is deregistered and every pending
+// record, action and gantt interval has been settled. Two allocations
+// survive the scrub on purpose: the counters slice (capacity reused by
+// the next occupant) and the sleep timer (tied to this environment's
+// engine and re-armed rather than re-allocated — its callback reads
+// the ChainProc afresh at fire time, so a recycled occupant is fine).
+func (env *Environment) releaseChain(c *ChainProc) {
+	counters := c.counters[:0]
+	timer := c.sleepTimer
+	*c = ChainProc{counters: counters, sleepTimer: timer}
+	if poolingEnabled {
+		env.chainPool = append(env.chainPool, c)
+	}
+}

@@ -100,15 +100,25 @@ type Environment struct {
 	mailboxes map[mailboxKey]*mailbox
 	byHost    map[string]map[*Process]bool
 
+	// Declarative activity chains (chain.go): the live population by
+	// PID, and by host for the failure sweep. Chains share the PID
+	// space and liveness accounting with goroutine processes.
+	chains       map[int]*ChainProc
+	chainsByHost map[string]map[*ChainProc]bool
+
 	// Free lists for the rendezvous churn: every Put/Get cycle reuses a
 	// scrubbed pendingSend/pendingRecv instead of allocating fresh ones
-	// (disabled under -tags=nopool).
-	sendPool []*pendingSend
-	recvPool []*pendingRecv
+	// (disabled under -tags=nopool). chainPool recycles terminated
+	// ChainProcs the same way.
+	sendPool  []*pendingSend
+	recvPool  []*pendingRecv
+	chainPool []*ChainProc
 
-	// restartQ holds, per host, the processes killed by that host's
-	// failure that must respawn when it recovers, in kill (PID) order.
-	restartQ map[string][]*Process
+	// restartQ holds, per host, the processes and chains killed by that
+	// host's failure that must respawn when it recovers, in kill (PID)
+	// order — one merged queue so mixed workloads restart in exactly
+	// their kill order.
+	restartQ map[string][]restartEntry
 
 	// Gantt, when non-nil, records per-process compute/comm intervals.
 	Gantt *gantt.Recorder
@@ -128,6 +138,13 @@ type mailboxKey struct {
 	channel int
 }
 
+// restartEntry is one killed party queued for respawn at host
+// recovery: a goroutine process or a declarative chain, never both.
+type restartEntry struct {
+	p *Process
+	c *ChainProc
+}
+
 // pendingSend is a sender blocked in Put (or an in-flight transfer).
 // It doubles as the transfer's completion handler (surf.Completion),
 // and is recycled through the environment's free list: the sender's
@@ -135,8 +152,10 @@ type mailboxKey struct {
 // timeout closure or receiver can still reach it.
 type pendingSend struct {
 	task     *Task
-	src      *Process
-	sender   *core.Process
+	env      *Environment
+	srcHost  *platform.Host
+	sender   *core.Process // goroutine sender (nil for a chain)
+	chainS   *ChainProc    // chain sender (nil for a goroutine)
 	action   *surf.Action
 	delivery *pendingRecv
 	// abandoned marks a record whose owner unwound (kill or contained
@@ -147,8 +166,9 @@ type pendingSend struct {
 
 // pendingRecv is a receiver blocked in Get, recycled by get on return.
 type pendingRecv struct {
-	receiver  *core.Process
-	task      *Task // filled in at completion
+	receiver  *core.Process // goroutine receiver (nil for a chain)
+	chainR    *ChainProc    // chain receiver (nil for a goroutine)
+	task      *Task         // filled in at completion
 	matched   *pendingSend
 	abandoned bool // see pendingSend.abandoned
 }
@@ -162,14 +182,24 @@ type pendingRecv struct {
 // delivery left its record flagged abandoned; with the references
 // severed nothing can reach such a record anymore, so it is recycled
 // right here instead of by the (dead) owner's return path.
+// Chain endpoints are advanced inline instead of woken — sender first,
+// then receiver, the same order the goroutine wake queue produces — and
+// their records are recycled here, since no returning Put/Get frame
+// will do it for them.
 func (ps *pendingSend) ActionDone(_ *surf.Action, cerr error) {
 	pr := ps.delivery
 	if cerr == nil {
 		pr.task = ps.task
 	}
-	env := ps.src.env
-	env.eng.Wake(ps.sender, cerr)
-	env.eng.Wake(pr.receiver, cerr)
+	env := ps.env
+	cs, cr := ps.chainS, pr.chainR
+	task := pr.task
+	if ps.sender != nil {
+		env.eng.Wake(ps.sender, cerr)
+	}
+	if pr.receiver != nil {
+		env.eng.Wake(pr.receiver, cerr)
+	}
 	pr.matched = nil
 	ps.delivery = nil
 	if pr.abandoned {
@@ -177,6 +207,14 @@ func (ps *pendingSend) ActionDone(_ *surf.Action, cerr error) {
 	}
 	if ps.abandoned {
 		env.releaseSend(ps)
+	}
+	if cs != nil {
+		env.releaseSend(ps)
+		cs.sendDone(cerr)
+	}
+	if cr != nil {
+		env.releaseRecv(pr)
+		cr.recvDone(task, cerr)
 	}
 }
 
@@ -200,8 +238,33 @@ func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
 		pf:                pf,
 		mailboxes:         make(map[mailboxKey]*mailbox),
 		byHost:            make(map[string]map[*Process]bool),
-		restartQ:          make(map[string][]*Process),
+		chains:            make(map[int]*ChainProc),
+		chainsByHost:      make(map[string]map[*ChainProc]bool),
+		restartQ:          make(map[string][]restartEntry),
 		KillOnHostFailure: true,
+	}
+	// Declarative chains have no goroutine for the kernel to count as
+	// blocked: name them in deadlock reports through this hook.
+	eng.ExternalBlocked = func() ([]string, []core.SimcallKind) {
+		if len(env.chains) == 0 {
+			return nil, nil
+		}
+		pids := make([]int, 0, len(env.chains))
+		for pid := range env.chains { //lint:allow det-maprange sorted below before any output
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		var names []string
+		var calls []core.SimcallKind
+		for _, pid := range pids {
+			c := env.chains[pid]
+			if c.daemon {
+				continue
+			}
+			names = append(names, c.name)
+			calls = append(calls, c.blockedOn)
+		}
+		return names, calls
 	}
 	env.model.OnHostStateChange = func(h *platform.Host, up bool) {
 		if up {
@@ -214,37 +277,66 @@ func NewEnvironment(pf *platform.Platform, cfg surf.Config) *Environment {
 		// Kill in PID order, not map order: each kill is an observable
 		// event (unwind, OnExit callbacks, wake of rendezvous peers),
 		// so the sweep's order is part of the replayable event log.
-		victims := make([]*Process, 0, len(env.byHost[h.Name]))
-		for p := range env.byHost[h.Name] { //lint:allow det-maprange victims are sorted by PID below before any observable effect
-			victims = append(victims, p)
+		// Goroutine processes and declarative chains die in one merged
+		// sweep, ordered by their shared PID space.
+		type victim struct {
+			pid int
+			p   *Process
+			c   *ChainProc
 		}
-		sort.Slice(victims, func(i, j int) bool { return victims[i].cp.PID() < victims[j].cp.PID() })
-		for _, p := range victims {
-			if p.OnFailure != nil {
-				p.OnFailure(ErrHostFailed)
+		victims := make([]victim, 0, len(env.byHost[h.Name])+len(env.chainsByHost[h.Name]))
+		for p := range env.byHost[h.Name] { //lint:allow det-maprange victims are sorted by PID below before any observable effect
+			victims = append(victims, victim{pid: p.cp.PID(), p: p})
+		}
+		for c := range env.chainsByHost[h.Name] { //lint:allow det-maprange victims are sorted by PID below before any observable effect
+			victims = append(victims, victim{pid: c.pid, c: c})
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].pid < victims[j].pid })
+		for _, v := range victims {
+			if v.p != nil {
+				p := v.p
+				if p.OnFailure != nil {
+					p.OnFailure(ErrHostFailed)
+				}
+				if p.autoRestart || env.RestartOnRecovery {
+					env.restartQ[h.Name] = append(env.restartQ[h.Name], restartEntry{p: p})
+				}
+				p.cp.Kill()
+			} else {
+				c := v.c
+				if c.OnFailure != nil {
+					c.OnFailure(ErrHostFailed)
+				}
+				if c.autoRestart || env.RestartOnRecovery {
+					c.restartPending = true
+					env.restartQ[h.Name] = append(env.restartQ[h.Name], restartEntry{c: c})
+				}
+				c.kill(ErrKilled)
 			}
-			if p.autoRestart || env.RestartOnRecovery {
-				env.restartQ[h.Name] = append(env.restartQ[h.Name], p)
-			}
-			p.cp.Kill()
 		}
 	}
 	return env
 }
 
 // restartOn respawns, in their original kill order, the auto-restart
-// processes that died with host h. The respawn is a fresh process (new
-// PID, the original body run from the top) inheriting the old one's
-// name, host, daemon-ness, restart flag and OnFailure hook — the MSG
-// analogue of a node coming back and its services being re-launched by
-// init.
+// processes and chains that died with host h. A process respawn is a
+// fresh process (new PID, the original body run from the top)
+// inheriting the old one's name, host, daemon-ness, restart flag and
+// OnFailure hook — the MSG analogue of a node coming back and its
+// services being re-launched by init. A chain respawn re-arms the same
+// ChainProc from step 0 under a fresh PID.
 func (env *Environment) restartOn(h *platform.Host) {
 	dead := env.restartQ[h.Name]
 	if len(dead) == 0 {
 		return
 	}
 	delete(env.restartQ, h.Name)
-	for _, old := range dead {
+	for _, en := range dead {
+		if en.c != nil {
+			en.c.rearm()
+			continue
+		}
+		old := en.p
 		np, err := env.NewProcess(old.cp.Name(), h.Name, old.fn)
 		if err != nil {
 			continue // the host vanished from the platform: nothing to do
@@ -442,7 +534,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	key := mailboxKey{host: destHost, channel: channel}
 	mb := p.env.mailbox(key)
 	ps := p.env.grabSend()
-	ps.task, ps.src, ps.sender = task, p, p.cp
+	ps.task, ps.env, ps.srcHost, ps.sender = task, p.env, p.host, p.cp
 
 	var timer *core.Timer
 	// The single release point, on return AND on unwind (kill, contained
@@ -470,7 +562,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	if len(mb.recvQ) > 0 {
 		pr := mb.recvQ[0]
 		mb.recvQ = mb.recvQ[1:]
-		if err := p.env.startTransfer(key, ps, pr); err != nil {
+		if err := p.env.startTransfer(key, ps, pr, nil); err != nil {
 			unwound = false
 			return err
 		}
@@ -526,9 +618,10 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	if len(mb.sendQ) > 0 {
 		ps := mb.sendQ[0]
 		mb.sendQ = mb.sendQ[1:]
-		if err := p.env.startTransfer(key, ps, pr); err != nil {
-			// ps stays with its sender: the wake above hands it back to
-			// put, which releases it.
+		if err := p.env.startTransfer(key, ps, pr, nil); err != nil {
+			// A goroutine ps stays with its sender: the wake above hands
+			// it back to put, which releases it. A chain ps was failed
+			// and recycled inside startTransfer.
 			unwound = false
 			return nil, err
 		}
@@ -559,15 +652,37 @@ func (env *Environment) mailbox(key mailboxKey) *mailbox {
 }
 
 // startTransfer matches a sender and a receiver and launches the
-// network action; both sides are woken at completion.
-func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendingRecv) error {
-	a, err := env.model.Communicate(ps.src.host.Name, key.host, ps.task.Bytes)
+// network action; both sides are woken (or, for chain endpoints,
+// advanced) at completion. caller identifies the chain currently
+// executing the matching step, if any: on error it handles its own
+// record and gets the failure as the return value, while the opposite
+// side is notified here.
+func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendingRecv, caller *ChainProc) error {
+	a, err := env.model.Communicate(ps.srcHost.Name, key.host, ps.task.Bytes)
 	if err != nil {
-		// Malformed route: deliver the error to both sides. The caller
-		// (whichever of the two is currently running) also gets it as a
-		// return value; the Wake targeting it is a no-op.
-		env.eng.Wake(ps.sender, err)
-		env.eng.Wake(pr.receiver, err)
+		// Malformed route: deliver the error to both sides. A goroutine
+		// caller also gets it as a return value; the Wake targeting it
+		// is a no-op. A chain endpoint other than the caller is failed
+		// and its record recycled right here — no returning frame owns
+		// it.
+		if ps.sender != nil {
+			env.eng.Wake(ps.sender, err)
+		}
+		if pr.receiver != nil {
+			env.eng.Wake(pr.receiver, err)
+		}
+		if cs := ps.chainS; cs != nil && cs != caller {
+			cs.sendRec = nil
+			env.releaseSend(ps)
+			cs.ganttEndNow()
+			cs.fail(err)
+		}
+		if cr := pr.chainR; cr != nil && cr != caller {
+			cr.recvRec = nil
+			env.releaseRecv(pr)
+			cr.ganttEndNow()
+			cr.fail(err)
+		}
 		return err
 	}
 	ps.action = a
