@@ -21,6 +21,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/instr"
 	"repro/internal/msg"
 	"repro/internal/platform"
 	"repro/internal/simdag"
@@ -37,6 +39,13 @@ type tierResult struct {
 	Spawned         int     `json:"spawned"`
 	GoroutineSpawns int     `json:"goroutine_spawns"`
 	GoroutinesPeak  int     `json:"goroutines_peak"`
+	SolverSolves    uint64  `json:"solver_solves"`
+	SolverParallel  uint64  `json:"solver_parallel_dispatches"`
+	// Pools is the per-free-list scoreboard from the tier's last run
+	// (cumulative hits/misses plus the steady-state free-list
+	// occupancy). Go maps marshal with sorted keys, so the JSON stays
+	// byte-comparable across runs of the same build.
+	Pools map[string]instr.PoolStat `json:"pools"`
 }
 
 type benchReport struct {
@@ -95,6 +104,28 @@ func must(err error) {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// modelPools collects the scoreboards shared by every workload form:
+// the surf action/slice free lists, the maxmin solver's free lists, and
+// the process-global worker-stack pool.
+func modelPools(m *surf.Model) map[string]instr.PoolStat {
+	return map[string]instr.PoolStat{
+		"surf.action":    m.ActionPoolStats(),
+		"surf.res_slice": m.ResSlicePoolStats(),
+		"maxmin.var":     m.VarPoolStats(),
+		"maxmin.elem":    m.ElemPoolStats(),
+		"core.worker":    core.WorkerPoolStats(),
+	}
+}
+
+// msgPools adds the MSG rendezvous/chain free lists on top.
+func msgPools(env *msg.Environment) map[string]instr.PoolStat {
+	pools := modelPools(env.Model())
+	pools["msg.send"] = env.SendPoolStats()
+	pools["msg.recv"] = env.RecvPoolStats()
+	pools["msg.chain"] = env.ChainPoolStats()
+	return pools
 }
 
 func pairPayload(i int) (bytes, flops float64) {
@@ -198,6 +229,7 @@ func msgReport(small bool) benchReport {
 			}
 		})
 		eng := last.Engine()
+		solver := last.Model().SolverStats()
 		rep.Tiers = append(rep.Tiers, tierResult{
 			Name:            tc.name,
 			Form:            tc.form,
@@ -208,6 +240,9 @@ func msgReport(small bool) benchReport {
 			Spawned:         eng.Spawned(),
 			GoroutineSpawns: eng.GoroutineSpawns(),
 			GoroutinesPeak:  eng.GoroutinesPeak(),
+			SolverSolves:    solver.Solves,
+			SolverParallel:  solver.ParallelSolves,
+			Pools:           msgPools(last),
 		})
 		fmt.Printf("%-22s %-10s %8.3f us/activity  %8d allocs/op  peak %d goroutines\n",
 			tc.name, tc.form, rep.Tiers[len(rep.Tiers)-1].UsPerActivity,
@@ -250,6 +285,7 @@ func simdagReport(small bool) benchReport {
 			}
 		})
 		eng := last.Engine()
+		solver := last.Model().SolverStats()
 		rep.Tiers = append(rep.Tiers, tierResult{
 			Name:            tc.name,
 			Form:            "dag",
@@ -260,6 +296,9 @@ func simdagReport(small bool) benchReport {
 			Spawned:         eng.Spawned(),
 			GoroutineSpawns: eng.GoroutineSpawns(),
 			GoroutinesPeak:  eng.GoroutinesPeak(),
+			SolverSolves:    solver.Solves,
+			SolverParallel:  solver.ParallelSolves,
+			Pools:           modelPools(last.Model()),
 		})
 		fmt.Printf("%-22s %-10s %8.3f us/task      %8d allocs/op  peak %d goroutines\n",
 			tc.name, "dag", rep.Tiers[len(rep.Tiers)-1].UsPerActivity,

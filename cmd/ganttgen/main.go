@@ -8,7 +8,12 @@
 // workflow scheduled by min-min, one row per host, each span labeled
 // with its task name.
 //
-//	go run ./cmd/ganttgen [-width 100] [-dag [-seed 3]]
+// With -paje FILE the chart is instead reconstructed from a Paje trace
+// written by simgrid-run/simdag-run -trace: process activity states
+// (PSTATE compute/put/get), task running spans (TSTATE), and resource
+// downtime (STATE down) become one Gantt row per traced container.
+//
+//	go run ./cmd/ganttgen [-width 100] [-dag [-seed 3]] [-paje run.paje]
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/gantt"
+	"repro/internal/instr"
 	"repro/internal/msg"
 	"repro/internal/platform"
 	"repro/internal/simdag"
@@ -34,8 +40,13 @@ func main() {
 	rounds := flag.Int("rounds", 3, "requests per client")
 	dag := flag.Bool("dag", false, "render a SimDag workflow schedule instead (one row per host)")
 	seed := flag.Int64("seed", 3, "seed for the -dag workflow and platform")
+	paje := flag.String("paje", "", "render a Paje trace file (written by -trace) instead")
 	flag.Parse()
 
+	if *paje != "" {
+		renderPaje(*paje, *width)
+		return
+	}
 	if *dag {
 		renderDAG(*width, *seed)
 		return
@@ -145,6 +156,57 @@ func renderDAG(width int, seed int64) {
 	fmt.Println("dark (#): computation   light (=): communication   labels: task names")
 	fmt.Println()
 	must(sim.Gantt.RenderLabeled(os.Stdout, width))
+}
+
+// renderPaje reconstructs a Gantt chart from a Paje trace file: every
+// activity interval the trace recorded lands on its container's row —
+// process activities (PSTATE) with their compute/put/get kinds, task
+// running spans (TSTATE), and resource downtime (STATE down) as waits.
+func renderPaje(path string, width int) {
+	f, err := os.Open(path)
+	must(err)
+	defer f.Close()
+	td, err := instr.ReadTrace(f)
+	must(err)
+
+	rec := &gantt.Recorder{}
+	n := 0
+	for _, iv := range td.Intervals {
+		var kind gantt.Kind
+		switch iv.Type {
+		case "PSTATE":
+			switch iv.Value {
+			case "compute":
+				kind = gantt.Compute
+			case "put":
+				kind = gantt.Comm
+			case "get":
+				kind = gantt.Wait
+			default:
+				continue // the "killed" marker has no extent
+			}
+		case "TSTATE":
+			if iv.Value != "running" {
+				continue
+			}
+			kind = gantt.Compute
+		case "STATE":
+			if iv.Value != "down" {
+				continue
+			}
+			kind = gantt.Wait
+		default:
+			continue
+		}
+		rec.Add(iv.Container, kind, iv.Value, iv.Start, iv.End)
+		n++
+	}
+
+	fmt.Printf("Paje trace %s: %d containers, %d intervals rendered, %d message links "+
+		"(ends at t=%.3f s)\n", path, len(td.Containers), n, len(td.Links), td.EndTime)
+	fmt.Println("dark (#): computation   light (=): communication   dots (.): waiting/down")
+	fmt.Println()
+	must(rec.Render(os.Stdout, width))
 }
 
 func must(err error) {

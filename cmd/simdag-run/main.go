@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/gantt"
+	"repro/internal/instr"
 	"repro/internal/platform"
 	"repro/internal/simdag"
 	"repro/internal/surf"
@@ -41,6 +42,11 @@ func main() {
 	showGantt := flag.Bool("gantt", false, "print a labeled per-host Gantt chart")
 	ganttWidth := flag.Int("gantt-width", 100, "gantt width in columns")
 	verbose := flag.Bool("v", false, "print the per-task schedule table")
+	tracePath := flag.String("trace", "", "write a Paje trace of the run to this file")
+	statsPath := flag.String("stats", "",
+		`write a metrics-registry JSON snapshot to this file ("-" = stdout)`)
+	profile := flag.Bool("profile", false,
+		"print a wall-clock kernel phase profile after the run (report-only; host clock)")
 	flag.Parse()
 
 	var pf *platform.Platform
@@ -59,6 +65,19 @@ func main() {
 
 	sim := simdag.New(pf, surf.DefaultConfig())
 	sim.Gantt = &gantt.Recorder{}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		sim.EnableTrace(instr.NewTrace(traceFile))
+	}
+	var prof *instr.Profiler
+	if *profile {
+		prof = instr.NewProfiler()
+		sim.Engine().SetProfiler(prof)
+	}
 	var tasks []*simdag.Task
 	switch {
 	case *daxPath != "":
@@ -110,6 +129,36 @@ func main() {
 
 	if _, err := sim.Simulate(); err != nil {
 		log.Fatalf("simulate: %v", err)
+	}
+
+	if traceFile != nil {
+		if err := sim.Trace().Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if *statsPath != "" {
+		r := instr.NewRegistry()
+		sim.MetricsInto(r)
+		r.SetPool("instr.event_pool", instr.EventPoolStats())
+		out := os.Stdout
+		if *statsPath != "-" {
+			out, err = os.Create(*statsPath)
+			if err != nil {
+				log.Fatalf("stats: %v", err)
+			}
+			defer out.Close()
+		}
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+	}
+	if prof != nil {
+		if err := prof.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *verbose {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/faults"
 	"repro/internal/gantt"
+	"repro/internal/instr"
 	"repro/internal/msg"
 	"repro/internal/platform"
 	"repro/internal/surf"
@@ -56,6 +57,11 @@ func main() {
 	faultHosts := flag.String("fault-hosts", "",
 		"comma-separated hosts subject to failure (default: all platform hosts)")
 	faultHorizon := flag.Float64("fault-horizon", 60, "no failure starts at or after this time, s")
+	tracePath := flag.String("trace", "", "write a Paje trace of the run to this file")
+	statsPath := flag.String("stats", "",
+		`write a metrics-registry JSON snapshot to this file ("-" = stdout)`)
+	profile := flag.Bool("profile", false,
+		"print a wall-clock kernel phase profile after the run (report-only; host clock)")
 	flag.Parse()
 	if *platformPath == "" || *deployPath == "" {
 		flag.Usage()
@@ -77,6 +83,20 @@ func main() {
 	if *showGantt {
 		env.Gantt = &gantt.Recorder{}
 	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		env.EnableTrace(instr.NewTrace(traceFile))
+	}
+	var prof *instr.Profiler
+	if *profile {
+		prof = instr.NewProfiler()
+		env.Engine().SetProfiler(prof)
+	}
+	var injector *faults.Injector
 	if *injectFaults {
 		// Every process killed by a host failure respawns when the host
 		// recovers: long-lived deployments survive the campaign.
@@ -107,6 +127,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("arming fault campaign: %v", err)
 		}
+		injector = in
 		in.OnEvent = func(ev faults.Event) {
 			state := "down"
 			if ev.Up {
@@ -120,6 +141,39 @@ func main() {
 		log.Fatalf("simulation: %v", err)
 	}
 	fmt.Printf("simulation finished at t=%.6f s\n", env.Now())
+	if traceFile != nil {
+		if err := env.Trace().Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if *statsPath != "" {
+		r := instr.NewRegistry()
+		env.MetricsInto(r)
+		if injector != nil {
+			injector.MetricsInto(r)
+		}
+		r.SetPool("instr.event_pool", instr.EventPoolStats())
+		out := os.Stdout
+		if *statsPath != "-" {
+			out, err = os.Create(*statsPath)
+			if err != nil {
+				log.Fatalf("stats: %v", err)
+			}
+			defer out.Close()
+		}
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+	}
+	if prof != nil {
+		fmt.Println()
+		if err := prof.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *showGantt {
 		fmt.Println()
 		if err := env.Gantt.Render(os.Stdout, *width); err != nil {

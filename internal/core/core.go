@@ -27,6 +27,8 @@ import (
 	"math"
 	"runtime/debug"
 	"sort"
+
+	"repro/internal/instr"
 )
 
 // State describes a simulated process's lifecycle stage.
@@ -343,6 +345,11 @@ type Engine struct {
 	ContainPanics bool
 
 	panics []*PanicError // contained process panics, in occurrence order
+
+	// Observability (instr.go): optional wall-clock phase profiler
+	// (report-only) and the timer heap's high-water mark.
+	prof      *instr.Profiler
+	timerPeak int
 }
 
 // New returns an empty simulation engine at time 0.
@@ -748,6 +755,9 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 
 		// Phase 2: find the next event. Each model's answer is kept so
 		// phase 3 can skip the models with nothing due at the new time.
+		// Model.NextEventTime triggers the lazy maxmin solve, so this
+		// is the profiler's "solve" phase.
+		t0 := e.prof.Begin()
 		next := math.Inf(1)
 		if cap(e.modelNext) < len(e.models) {
 			e.modelNext = make([]float64, len(e.models))
@@ -760,8 +770,12 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 				next = t
 			}
 		}
+		e.prof.End(instr.PhaseSolve, t0)
 		for len(e.timers) > 0 && e.timers[0].canceled {
 			heap.Pop(&e.timers)
+		}
+		if len(e.timers) > e.timerPeak {
+			e.timerPeak = len(e.timers)
 		}
 		if len(e.timers) > 0 && e.timers[0].at < next {
 			next = e.timers[0].at
@@ -806,23 +820,30 @@ func (e *Engine) kernelTurn(self *Process) dispatchResult {
 		// bookkeeping a skipped step costs them literally nothing.
 		prev := e.now
 		e.now = next
+		t0 = e.prof.Begin()
 		for i, m := range e.models {
 			if modelNext[i] <= e.now {
 				m.AdvanceTo(prev, e.now)
 			}
 		}
+		e.prof.End(instr.PhaseAdvance, t0)
+		t0 = e.prof.Begin()
 		for len(e.timers) > 0 && e.timers[0].at <= e.now {
 			tm := heap.Pop(&e.timers).(*timer)
 			if !tm.canceled {
 				tm.fn()
 			}
 		}
+		e.prof.End(instr.PhaseSweep, t0)
 
 		// Phase 1 of the next round: hand control to the first woken
 		// process; its dispatch chain continues the round. The flag drops
 		// before the hand-off: the woken process runs its own code.
 		e.inKernel = false
-		if r := e.dispatch(self); r != dispatchNone {
+		t0 = e.prof.Begin()
+		r := e.dispatch(self)
+		e.prof.End(instr.PhaseDispatch, t0)
+		if r != dispatchNone {
 			return r
 		}
 		e.inKernel = true

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/instr"
+)
 
 // This file is the factory for the pooled process workers: the only
 // place allowed to construct a worker by composite literal, and the
@@ -39,7 +43,8 @@ type worker struct {
 // mutex: engines themselves are single-threaded by the kernel token.
 var workerPool struct {
 	sync.Mutex
-	free []*worker
+	free      []*worker
+	hit, miss uint64
 }
 
 // maxPooledWorkers bounds the parked population; beyond it, finished
@@ -72,8 +77,10 @@ func grabWorker() *worker {
 		w := workerPool.free[n-1]
 		workerPool.free[n-1] = nil
 		workerPool.free = workerPool.free[:n-1]
+		workerPool.hit++
 		return w
 	}
+	workerPool.miss++
 	return nil
 }
 
@@ -94,6 +101,15 @@ func releaseWorker(w *worker) bool {
 	}
 	workerPool.free = append(workerPool.free, w)
 	return true
+}
+
+// WorkerPoolStats reports the shared worker-stack free list's
+// scoreboard: hits are processes that reused a parked stack, misses
+// are grabs that fell through to a fresh goroutine spawn.
+func WorkerPoolStats() instr.PoolStat {
+	workerPool.Lock()
+	defer workerPool.Unlock()
+	return instr.PoolStat{Hit: workerPool.hit, Miss: workerPool.miss, Free: len(workerPool.free)}
 }
 
 // newWorker creates a fresh carrier goroutine — THE goroutine spawn

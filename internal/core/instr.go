@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/instr"
+
+// Observability wiring for the kernel. The engine carries an optional
+// phase profiler (wall-clock, report-only — see instr.Profiler) and
+// dumps its always-on counters into a metrics registry on demand.
+
+// SetProfiler attaches a phase profiler to the engine. The profiler
+// times the kernel's own phases (solve / advance / sweep / dispatch)
+// in wall-clock time; it is report-only and never feeds simulation
+// state, so runs with and without it are identical. Pass nil to
+// detach.
+func (e *Engine) SetProfiler(p *instr.Profiler) { e.prof = p }
+
+// Profiler returns the attached phase profiler (nil when off).
+func (e *Engine) Profiler() *instr.Profiler { return e.prof }
+
+// TimerPeak returns the high-water mark of the timer heap.
+func (e *Engine) TimerPeak() int { return e.timerPeak }
+
+// MetricsInto dumps the kernel's counters into r under the core.*
+// namespace: simcall dispositions, process starts vs goroutine
+// spawns, and the shared worker-stack free list.
+func (e *Engine) MetricsInto(r *instr.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("core.simcalls_fast").Add(e.stats.Fast)
+	r.Counter("core.simcalls_slow").Add(e.stats.Slow)
+	r.Counter("core.processes_spawned").Add(uint64(e.Spawned()))
+	r.Counter("core.goroutine_spawns").Add(uint64(e.goSpawns))
+	r.Gauge("core.goroutines_peak").SetMax(float64(e.goPeak))
+	r.Gauge("core.timer_peak").SetMax(float64(e.timerPeak))
+	r.Gauge("core.timers").Set(float64(len(e.timers)))
+	r.Counter("core.fault_panics").Add(uint64(len(e.panics)))
+	r.SetPool("core.worker_pool", WorkerPoolStats())
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/instr"
 	"repro/internal/surf"
 )
 
@@ -20,6 +21,11 @@ type Injector struct {
 	// before the first event fires (in practice, right after Arm).
 	OnEvent func(Event)
 	applied int
+
+	// Split of applied events into failures and recoveries (Up events),
+	// for the metrics snapshot.
+	injections uint64
+	recoveries uint64
 }
 
 // Arm validates the schedule against the model's platform and arms the
@@ -84,6 +90,11 @@ func (in *Injector) apply(ev Event) {
 		panic(err)
 	}
 	in.applied++
+	if ev.Up {
+		in.recoveries++
+	} else {
+		in.injections++
+	}
 	if in.OnEvent != nil {
 		in.OnEvent(ev)
 	}
@@ -94,3 +105,15 @@ func (in *Injector) Applied() int { return in.applied }
 
 // Schedule returns the schedule this injector replays.
 func (in *Injector) Schedule() *Schedule { return in.sched }
+
+// MetricsInto dumps the injector's counters into r (faults.*
+// namespace): how many failure events were injected and how many
+// recovery (Up) events restored a resource.
+func (in *Injector) MetricsInto(r *instr.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("faults.injections").Add(in.injections)
+	r.Counter("faults.recoveries").Add(in.recoveries)
+	r.Gauge("faults.schedule_events").Set(float64(len(in.sched.Events)))
+}

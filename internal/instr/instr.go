@@ -1,0 +1,41 @@
+// Package instr is the observability layer of the stack: Paje trace
+// export, a metrics registry, and a wall-clock phase profiler, shared
+// by every simulation package (core, maxmin, surf, msg, simdag,
+// faults) and by the CLIs that expose them (-trace / -stats /
+// -profile).
+//
+// Three bands, two clocks:
+//
+//   - The deterministic band — the Paje tracer and the metrics
+//     registry — is stamped exclusively with SIMULATED time. Its byte
+//     output is a pure function of the run: same workload, same trace,
+//     bit for bit, pooled or not. Nothing in this band may read the
+//     host clock (det-wallclock enforces it; this package is part of
+//     the linter's determinism scope).
+//   - The wall-clock band — the phase Profiler — measures how long the
+//     kernel's own phases take in REAL time. It reports only: its
+//     numbers never feed a simulation decision, so a run traced with
+//     profiling on or off is identical. The single host-clock read
+//     lives behind one reasoned //lint:allow seam (profile.go).
+//
+// Everything here is zero-cost when disabled: the layers hold nil
+// pointers and every hook is either a nil-guard or a method that is
+// safe (and trivially cheap) on a nil receiver. When enabled, trace
+// events draw from a free list per the DESIGN pooling rules
+// (factory.go, -tags=nopool to disable), so steady-state tracing adds
+// no per-event allocation after warm-up.
+//
+// This package deliberately imports nothing from the rest of the
+// module, so every layer can depend on it without cycles.
+package instr
+
+// PoolStat is one free list's scoreboard: how many grabs were served
+// from the pool (Hit) vs freshly allocated (Miss), and the pool's
+// current population (Free — at quiescence, the steady-state
+// occupancy). Every pooled type across the stack reports one of these
+// (cmd/benchstats surfaces them per tier).
+type PoolStat struct {
+	Hit  uint64 `json:"hit"`
+	Miss uint64 `json:"miss"`
+	Free int    `json:"steady_free"`
+}

@@ -1,0 +1,7 @@
+//go:build nopool
+
+package instr
+
+// poolingEnabled is off under -tags=nopool: every trace event is a
+// fresh allocation and releases are dropped for the GC.
+const poolingEnabled = false

@@ -1,0 +1,7 @@
+//go:build !nopool
+
+package instr
+
+// poolingEnabled gates the trace event free list; build with
+// -tags=nopool to allocate every event fresh (leak hunts, -race runs).
+const poolingEnabled = true

@@ -1,0 +1,121 @@
+package instr
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Phase identifies one kernel phase the Profiler times.
+type Phase int
+
+const (
+	// PhaseSolve is the model next-event computation, including the
+	// lazy maxmin solve it triggers.
+	PhaseSolve Phase = iota
+	// PhaseAdvance is the model AdvanceTo sweep that completes actions
+	// up to the new simulated time.
+	PhaseAdvance
+	// PhaseSweep is the timer-firing loop (watchpoints, deadlines,
+	// fault events).
+	PhaseSweep
+	// PhaseDispatch is the run-queue drain that hands control to ready
+	// processes.
+	PhaseDispatch
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"solve", "advance", "sweep", "dispatch"}
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Profiler accumulates WALL-CLOCK time per kernel phase. It lives in
+// the report-only band: its readings are never visible to simulation
+// code, so enabling it cannot perturb a run's trace or results — only
+// its wall-clock duration. Methods are safe on a nil receiver; a
+// disabled engine holds nil and pays one pointer test per phase.
+type Profiler struct {
+	total [numPhases]time.Duration
+	count [numPhases]uint64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// now is the profiler's single host-clock read. Everything else in
+// this package (and in every simulation package) is stamped with
+// simulated time.
+func (p *Profiler) now() time.Time {
+	return time.Now() //lint:allow det-wallclock profiler self-timing is report-only; readings never feed simulation state or trace output
+}
+
+// Begin samples the host clock at a phase boundary. Returns the zero
+// time on a nil profiler.
+func (p *Profiler) Begin() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return p.now()
+}
+
+// End charges the elapsed wall-clock time since t0 to phase ph.
+func (p *Profiler) End(ph Phase, t0 time.Time) {
+	if p == nil {
+		return
+	}
+	p.total[ph] += p.now().Sub(t0)
+	p.count[ph]++
+}
+
+// Total returns the accumulated wall-clock time for ph.
+func (p *Profiler) Total(ph Phase) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.total[ph]
+}
+
+// Count returns how many times ph was timed.
+func (p *Profiler) Count(ph Phase) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.count[ph]
+}
+
+// WriteReport writes a human-readable per-phase table: calls, total
+// wall-clock time, mean per call, and share of the profiled total.
+func (p *Profiler) WriteReport(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	var grand time.Duration
+	for ph := Phase(0); ph < numPhases; ph++ {
+		grand += p.total[ph]
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %12s %14s %12s %7s\n", "phase", "calls", "total", "mean", "share"); err != nil {
+		return err
+	}
+	for ph := Phase(0); ph < numPhases; ph++ {
+		var mean time.Duration
+		if p.count[ph] > 0 {
+			mean = p.total[ph] / time.Duration(p.count[ph])
+		}
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(p.total[ph]) / float64(grand)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %12d %14s %12s %6.1f%%\n",
+			ph.String(), p.count[ph], p.total[ph], mean, share); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-10s %12s %14s\n", "total", "", grand)
+	return err
+}

@@ -1,0 +1,371 @@
+package instr
+
+import (
+	"io"
+	"strconv"
+)
+
+// Trace writes a Paje trace: a fixed %EventDef header followed by one
+// numeric event line per emission, each stamped with SIMULATED time.
+// Aliases for types and containers come from deterministic counters
+// ("t0", "t1", ... / "c0", "c1", ...), string arguments are quoted
+// with Go escaping, and floats use shortest-round-trip formatting —
+// so the byte stream is a pure function of the emission sequence.
+//
+// Emissions fill pooled event records (factory.go) that are formatted
+// and released in batches, keeping steady-state tracing allocation-
+// free after warm-up. Like the rest of the kernel, a Trace is
+// simulation-context-only and unlocked. All methods are safe on a nil
+// receiver, so layers can call hooks unconditionally.
+type Trace struct {
+	w       io.Writer
+	pending []*event
+	out     []byte
+	err     error
+	nType   int
+	nCont   int
+}
+
+// Paje event IDs, in header order.
+const (
+	pajeDefineContainerType = 0
+	pajeDefineStateType     = 1
+	pajeDefineVariableType  = 2
+	pajeDefineLinkType      = 3
+	pajeDefineEntityValue   = 4
+	pajeCreateContainer     = 5
+	pajeDestroyContainer    = 6
+	pajeSetState            = 7
+	pajePushState           = 8
+	pajePopState            = 9
+	pajeSetVariable         = 10
+	pajeStartLink           = 11
+	pajeEndLink             = 12
+)
+
+const pajeHeader = `%EventDef PajeDefineContainerType 0
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeDefineStateType 1
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeDefineVariableType 2
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeDefineLinkType 3
+%  Alias string
+%  Type string
+%  StartContainerType string
+%  EndContainerType string
+%  Name string
+%EndEventDef
+%EventDef PajeDefineEntityValue 4
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeCreateContainer 5
+%  Time date
+%  Alias string
+%  Type string
+%  Container string
+%  Name string
+%EndEventDef
+%EventDef PajeDestroyContainer 6
+%  Time date
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeSetState 7
+%  Time date
+%  Type string
+%  Container string
+%  Value string
+%EndEventDef
+%EventDef PajePushState 8
+%  Time date
+%  Type string
+%  Container string
+%  Value string
+%EndEventDef
+%EventDef PajePopState 9
+%  Time date
+%  Type string
+%  Container string
+%EndEventDef
+%EventDef PajeSetVariable 10
+%  Time date
+%  Type string
+%  Container string
+%  Value double
+%EndEventDef
+%EventDef PajeStartLink 11
+%  Time date
+%  Type string
+%  Container string
+%  SourceContainer string
+%  Value string
+%  Key string
+%EndEventDef
+%EventDef PajeEndLink 12
+%  Time date
+%  Type string
+%  Container string
+%  DestContainer string
+%  Value string
+%  Key string
+%EndEventDef
+`
+
+// event is one pending trace line. Records come from the free list in
+// factory.go and are scrubbed and released after formatting.
+type event struct {
+	id     int
+	timed  bool
+	time   float64
+	hasVal bool
+	val    float64
+	args   []string
+}
+
+// flushBatch is how many pending events accumulate before being
+// formatted and recycled; outChunk is the output-buffer size that
+// triggers an actual write.
+const (
+	flushBatch = 256
+	outChunk   = 1 << 15
+)
+
+// NewTrace starts a Paje trace on w, writing the event-definition
+// header immediately.
+func NewTrace(w io.Writer) *Trace {
+	tr := &Trace{w: w, out: make([]byte, 0, outChunk+1024)}
+	tr.out = append(tr.out, pajeHeader...)
+	return tr
+}
+
+// typeAlias mints the next deterministic alias for a type-like
+// definition (container/state/variable/link types and entity values).
+func (tr *Trace) typeAlias() string {
+	a := "t" + strconv.Itoa(tr.nType)
+	tr.nType++
+	return a
+}
+
+// contAlias mints the next deterministic container alias.
+func (tr *Trace) contAlias() string {
+	a := "c" + strconv.Itoa(tr.nCont)
+	tr.nCont++
+	return a
+}
+
+func (tr *Trace) emit(ev *event) {
+	tr.pending = append(tr.pending, ev)
+	if len(tr.pending) >= flushBatch {
+		tr.drain()
+	}
+}
+
+// drain formats every pending event into the output buffer, releases
+// the records, and writes the buffer out once it crosses outChunk.
+func (tr *Trace) drain() {
+	for _, ev := range tr.pending {
+		tr.out = strconv.AppendInt(tr.out, int64(ev.id), 10)
+		if ev.timed {
+			tr.out = append(tr.out, ' ')
+			tr.out = appendFloat(tr.out, ev.time)
+		}
+		for _, a := range ev.args {
+			tr.out = append(tr.out, ' ')
+			tr.out = strconv.AppendQuote(tr.out, a)
+		}
+		if ev.hasVal {
+			tr.out = append(tr.out, ' ')
+			tr.out = appendFloat(tr.out, ev.val)
+		}
+		tr.out = append(tr.out, '\n')
+		releaseEvent(ev)
+	}
+	tr.pending = tr.pending[:0]
+	if len(tr.out) >= outChunk {
+		tr.writeOut()
+	}
+}
+
+func (tr *Trace) writeOut() {
+	if len(tr.out) == 0 {
+		return
+	}
+	if tr.err == nil && tr.w != nil {
+		_, tr.err = tr.w.Write(tr.out)
+	}
+	tr.out = tr.out[:0]
+}
+
+// def queues an untimed definition event.
+func (tr *Trace) def(id int, args ...string) {
+	ev := grabEvent()
+	ev.id = id
+	ev.args = append(ev.args, args...)
+	tr.emit(ev)
+}
+
+// timedEvent queues a timed event with string args only.
+func (tr *Trace) timedEvent(id int, t float64, args ...string) {
+	ev := grabEvent()
+	ev.id = id
+	ev.timed = true
+	ev.time = t
+	ev.args = append(ev.args, args...)
+	tr.emit(ev)
+}
+
+// DefineContainerType declares a container type under parent (use
+// "0" for the root type) and returns its alias.
+func (tr *Trace) DefineContainerType(parent, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.typeAlias()
+	tr.def(pajeDefineContainerType, a, parent, name)
+	return a
+}
+
+// DefineStateType declares a state type on container type ctype.
+func (tr *Trace) DefineStateType(ctype, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.typeAlias()
+	tr.def(pajeDefineStateType, a, ctype, name)
+	return a
+}
+
+// DefineVariableType declares a variable type on container type
+// ctype.
+func (tr *Trace) DefineVariableType(ctype, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.typeAlias()
+	tr.def(pajeDefineVariableType, a, ctype, name)
+	return a
+}
+
+// DefineLinkType declares a link type rooted at parent, connecting
+// containers of srcType to containers of dstType.
+func (tr *Trace) DefineLinkType(parent, srcType, dstType, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.typeAlias()
+	tr.def(pajeDefineLinkType, a, parent, srcType, dstType, name)
+	return a
+}
+
+// DefineEntityValue declares a named value for state type stype.
+func (tr *Trace) DefineEntityValue(stype, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.typeAlias()
+	tr.def(pajeDefineEntityValue, a, stype, name)
+	return a
+}
+
+// CreateContainer creates a container of type ctype under parent
+// (alias or "0" for the root) and returns its alias.
+func (tr *Trace) CreateContainer(t float64, ctype, parent, name string) string {
+	if tr == nil {
+		return ""
+	}
+	a := tr.contAlias()
+	tr.timedEvent(pajeCreateContainer, t, a, ctype, parent, name)
+	return a
+}
+
+// DestroyContainer destroys the container with the given alias.
+func (tr *Trace) DestroyContainer(t float64, ctype, alias string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajeDestroyContainer, t, ctype, alias)
+}
+
+// SetState sets the current value of a state (replacing any previous
+// value).
+func (tr *Trace) SetState(t float64, stype, container, value string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajeSetState, t, stype, container, value)
+}
+
+// PushState pushes a value onto a state's stack.
+func (tr *Trace) PushState(t float64, stype, container, value string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajePushState, t, stype, container, value)
+}
+
+// PopState pops the top value off a state's stack.
+func (tr *Trace) PopState(t float64, stype, container string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajePopState, t, stype, container)
+}
+
+// SetVariable sets a numeric variable on a container.
+func (tr *Trace) SetVariable(t float64, vtype, container string, v float64) {
+	if tr == nil {
+		return
+	}
+	ev := grabEvent()
+	ev.id = pajeSetVariable
+	ev.timed = true
+	ev.time = t
+	ev.args = append(ev.args, vtype, container)
+	ev.hasVal = true
+	ev.val = v
+	tr.emit(ev)
+}
+
+// StartLink starts an arrow of type ltype within container, leaving
+// srcContainer; key pairs it with the matching EndLink.
+func (tr *Trace) StartLink(t float64, ltype, container, srcContainer, value, key string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajeStartLink, t, ltype, container, srcContainer, value, key)
+}
+
+// EndLink ends the arrow with the matching key at dstContainer.
+func (tr *Trace) EndLink(t float64, ltype, container, dstContainer, value, key string) {
+	if tr == nil {
+		return
+	}
+	tr.timedEvent(pajeEndLink, t, ltype, container, dstContainer, value, key)
+}
+
+// Flush formats all pending events and writes every buffered byte to
+// the underlying writer.
+func (tr *Trace) Flush() error {
+	if tr == nil {
+		return nil
+	}
+	tr.drain()
+	tr.writeOut()
+	return tr.err
+}
+
+// Close flushes the trace. The underlying writer is not closed — the
+// caller owns it.
+func (tr *Trace) Close() error { return tr.Flush() }

@@ -19,18 +19,24 @@ func DefaultConfig() *Config {
 		// event path. A map walk or stray goroutine here changes event
 		// order between runs. faults is included because a fault
 		// schedule's compile-time draws and injection-time callbacks are
-		// both on the byte-for-byte replay contract.
-		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag", "faults"),
+		// both on the byte-for-byte replay contract. instr is included
+		// because trace bytes must be a pure function of the run: a map
+		// walk in an emitter would reorder events between runs.
+		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag", "faults", "instr"),
 
 		// Everything under internal/ that participates in (or reports
 		// on) simulation runs. Deliberate wallclock reads — SMPI-style
 		// benching of real compute, solver self-timing in the
 		// validation drivers, the real-network gras backend — carry
 		// //lint:allow annotations stating exactly that.
+		// instr's profiler owns the single sanctioned host-clock read
+		// (Profiler.now, with its inline allow); every other instr path
+		// is stamped with simulated time only.
 		WallclockPkgs: internal(
 			"core", "surf", "maxmin", "msg", "simdag", "faults",
 			"smpi", "gras", "pastry", "validate",
 			"trace", "platform", "packet", "deploy", "gantt",
+			"instr",
 		),
 
 		// Packages PR 3 converted from Sprintf to concatenation on

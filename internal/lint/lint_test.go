@@ -45,6 +45,16 @@ func TestDetWallclockFixture(t *testing.T) {
 	Check(t, p, FixtureConfig(), "det-wallclock")
 }
 
+// The instrtrace fixture pins the determinism contract trace-emission
+// code lives under (instr is in both DetPkgs and WallclockPkgs): a map
+// walk in an emitter reorders events between runs and a host-clock
+// timestamp breaks bit-identical traces, while the creation-order
+// slice walk and the explicitly allowed profiler seam are clean.
+func TestInstrTraceFixture(t *testing.T) {
+	p := fixture(t, "instrtrace")
+	Check(t, p, FixtureConfig(), "det-maprange", "det-wallclock")
+}
+
 // The faultsched fixture pins the determinism contract the faults
 // package lives under (it is in both DetPkgs and WallclockPkgs):
 // schedule compilation must use locally seeded generators and ordered

@@ -1,0 +1,50 @@
+// Fixture for trace-emission code under the determinism contract
+// (instr is in both DetPkgs and WallclockPkgs): emitting per-container
+// events by ranging a map is order-unstable, so the trace bytes would
+// differ between runs — a finding. The sanctioned shapes are walking a
+// creation-ordered slice, and a single report-only self-timing seam
+// carrying an explicit allow.
+package instrtrace
+
+import "time"
+
+type emitter struct {
+	order  []string           // container aliases in creation order
+	byName map[string]float64 // alias -> last emitted value
+}
+
+// emitUnordered is the bug this fixture pins: map order leaks straight
+// into event order, so two runs of the same simulation produce
+// different trace bytes.
+func (e *emitter) emitUnordered(emit func(string, float64)) {
+	for name, v := range e.byName { // want "range over map"
+		emit(name, v)
+	}
+}
+
+// emitOrdered walks the creation-order slice: trace bytes are a pure
+// function of the run.
+func (e *emitter) emitOrdered(emit func(string, float64)) {
+	for _, name := range e.order {
+		emit(name, e.byName[name])
+	}
+}
+
+// stampEvent reads the host clock into an event timestamp: the trace
+// would never be bit-identical across runs.
+func stampEvent() int64 {
+	return time.Now().UnixNano() // want "wallclock read time.Now"
+}
+
+// profileNow is the sanctioned profiler seam: the reading is
+// report-only and never reaches simulation state or trace bytes, and
+// the allow says so.
+func profileNow() time.Time {
+	return time.Now() //lint:allow det-wallclock profiler self-timing is report-only, never in trace bytes
+}
+
+// simStamp derives an event timestamp from simulated time: pure
+// arithmetic, no clock read.
+func simStamp(simNow float64) float64 {
+	return simNow
+}

@@ -16,8 +16,10 @@ func (s *System) grabVariable() *Variable {
 		v := s.varPool[n-1]
 		s.varPool[n-1] = nil
 		s.varPool = s.varPool[:n-1]
+		s.varPoolHit++
 		return v
 	}
+	s.varPoolMiss++
 	return &Variable{dirtyQ: -1}
 }
 
@@ -28,8 +30,10 @@ func (s *System) grabElem() *elem {
 		e := s.elemPool[n-1]
 		s.elemPool[n-1] = nil
 		s.elemPool = s.elemPool[:n-1]
+		s.elemPoolHit++
 		return e
 	}
+	s.elemPoolMiss++
 	return &elem{}
 }
 

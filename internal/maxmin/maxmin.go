@@ -153,6 +153,12 @@ type System struct {
 	// heap allocation. Disabled under -tags=nopool.
 	varPool  []*Variable
 	elemPool []*elem
+
+	// Observability (stats.go): solver work counters and pool
+	// hit/miss scoreboards. Plain fields, always on.
+	stats                     SolveStats
+	varPoolHit, varPoolMiss   uint64
+	elemPoolHit, elemPoolMiss uint64
 }
 
 // NewSystem returns an empty linear MaxMin system.
@@ -578,6 +584,16 @@ func (s *System) solve() {
 	s.collectScope()
 	sv, sc := s.solveVars, s.solveCnsts
 
+	s.stats.Solves++
+	s.stats.ScopeVars += uint64(len(sv))
+	s.stats.Components += uint64(len(s.comps))
+	if len(sv) > s.stats.MaxScopeVars {
+		s.stats.MaxScopeVars = len(sv)
+	}
+	if len(s.comps) > s.stats.MaxComponents {
+		s.stats.MaxComponents = len(s.comps)
+	}
+
 	// Size the constraint-indexed load scratch to the current system.
 	if cap(s.loads) < len(s.cnsts) {
 		s.loads = make([]float64, len(s.cnsts))
@@ -592,6 +608,7 @@ func (s *System) solve() {
 	s.oldVals = oldVals
 
 	if workers := s.parallelism(); workers > 1 {
+		s.stats.ParallelSolves++
 		s.solveParallel(workers, loads)
 	} else {
 		active := s.active

@@ -288,6 +288,9 @@ type ChainProc struct {
 	inRun          bool // the interpreter loop is on the stack
 	releasePending bool // terminated inside run(): recycle at loop exit
 	ganttOpen      bool
+
+	pajeC    string // trace container alias ("" with tracing off)
+	pajeOpen bool   // a PSTATE push awaits its pop
 }
 
 // StartChain starts spec as a processless chain on hostName. It runs
@@ -324,6 +327,7 @@ func (env *Environment) StartChain(name, hostName string, spec *Chain, cfg *Chai
 		env.chainsByHost[h.Name] = make(map[*ChainProc]bool)
 	}
 	env.chainsByHost[h.Name][c] = true
+	c.pajeC = env.traceProcStart(name, h.Name)
 	c.run()
 	return c, nil
 }
@@ -475,6 +479,8 @@ func (c *ChainProc) finish(err error) {
 func (c *ChainProc) teardown(err error) {
 	c.err = err
 	env := c.env
+	env.traceProcEnd(c.pajeC, c.pajeOpen, err)
+	c.pajeC, c.pajeOpen = "", false
 	if !c.daemon {
 		env.eng.AddLive(-1)
 	}
@@ -514,6 +520,7 @@ func (c *ChainProc) kill(err error) {
 			for i, q := range mb.sendQ {
 				if q == ps {
 					mb.sendQ = append(mb.sendQ[:i], mb.sendQ[i+1:]...)
+					c.env.noteQueued(-1, 0)
 					break
 				}
 			}
@@ -530,6 +537,7 @@ func (c *ChainProc) kill(err error) {
 			for i, q := range mb.recvQ {
 				if q == pr {
 					mb.recvQ = append(mb.recvQ[:i], mb.recvQ[i+1:]...)
+					c.env.noteQueued(0, -1)
 					break
 				}
 			}
@@ -566,6 +574,7 @@ func (c *ChainProc) rearm() {
 		env.chainsByHost[c.host.Name] = make(map[*ChainProc]bool)
 	}
 	env.chainsByHost[c.host.Name][c] = true
+	c.pajeC = env.traceProcStart(c.name, c.host.Name)
 	c.run()
 }
 
@@ -675,6 +684,7 @@ func (c *ChainProc) stepPut(st *chainStep) {
 	mb := env.mailbox(key)
 	ps := env.grabSend()
 	ps.task, ps.env, ps.srcHost, ps.chainS = task, env, c.host, c
+	ps.srcC = c.pajeC
 	c.sendRec = ps
 	c.pendKey = key
 	c.blockedOn = core.SimcallSend
@@ -683,6 +693,7 @@ func (c *ChainProc) stepPut(st *chainStep) {
 	if len(mb.recvQ) > 0 {
 		pr := mb.recvQ[0]
 		mb.recvQ = mb.recvQ[1:]
+		env.noteQueued(0, -1)
 		if err := env.startTransfer(key, ps, pr, c); err != nil {
 			c.sendRec = nil
 			env.releaseSend(ps)
@@ -691,6 +702,7 @@ func (c *ChainProc) stepPut(st *chainStep) {
 		}
 	} else {
 		mb.sendQ = append(mb.sendQ, ps)
+		env.noteQueued(1, 0)
 	}
 }
 
@@ -701,6 +713,7 @@ func (c *ChainProc) stepGet(st *chainStep) {
 	mb := env.mailbox(key)
 	pr := env.grabRecv()
 	pr.chainR = c
+	pr.dstC = c.pajeC
 	c.recvRec = pr
 	c.pendKey = key
 	c.blockedOn = core.SimcallRecv
@@ -709,6 +722,7 @@ func (c *ChainProc) stepGet(st *chainStep) {
 	if len(mb.sendQ) > 0 {
 		ps := mb.sendQ[0]
 		mb.sendQ = mb.sendQ[1:]
+		env.noteQueued(-1, 0)
 		if err := env.startTransfer(key, ps, pr, c); err != nil {
 			c.recvRec = nil
 			env.releaseRecv(pr)
@@ -717,6 +731,7 @@ func (c *ChainProc) stepGet(st *chainStep) {
 		}
 	} else {
 		mb.recvQ = append(mb.recvQ, pr)
+		env.noteQueued(0, 1)
 	}
 }
 
@@ -762,11 +777,20 @@ func (c *ChainProc) ganttBegin(kind gantt.Kind, label string) {
 		c.env.Gantt.Begin(c.name, kind, label, c.env.eng.Now())
 		c.ganttOpen = true
 	}
+	if mt := c.env.trace; mt != nil && c.pajeC != "" {
+		mt.tr.PushState(c.env.eng.Now(), mt.pstate, c.pajeC, pstateValue(kind))
+		c.pajeOpen = true
+	}
 }
 
 func (c *ChainProc) ganttEndNow() {
 	if c.ganttOpen {
 		c.env.Gantt.End(c.name, c.env.eng.Now())
 		c.ganttOpen = false
+	}
+	if c.pajeOpen {
+		mt := c.env.trace
+		mt.tr.PopState(c.env.eng.Now(), mt.pstate, c.pajeC)
+		c.pajeOpen = false
 	}
 }

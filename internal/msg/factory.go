@@ -13,8 +13,10 @@ func (env *Environment) grabSend() *pendingSend {
 		ps := env.sendPool[n-1]
 		env.sendPool[n-1] = nil
 		env.sendPool = env.sendPool[:n-1]
+		env.sendPoolHit++
 		return ps
 	}
+	env.sendPoolMiss++
 	return &pendingSend{}
 }
 
@@ -42,8 +44,10 @@ func (env *Environment) grabRecv() *pendingRecv {
 		pr := env.recvPool[n-1]
 		env.recvPool[n-1] = nil
 		env.recvPool = env.recvPool[:n-1]
+		env.recvPoolHit++
 		return pr
 	}
+	env.recvPoolMiss++
 	return &pendingRecv{}
 }
 
@@ -64,8 +68,10 @@ func (env *Environment) grabChain() *ChainProc {
 		c := env.chainPool[n-1]
 		env.chainPool[n-1] = nil
 		env.chainPool = env.chainPool[:n-1]
+		env.chainPoolHit++
 		return c
 	}
+	env.chainPoolMiss++
 	return &ChainProc{}
 }
 

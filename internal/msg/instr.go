@@ -1,0 +1,168 @@
+package msg
+
+import (
+	"strconv"
+
+	"repro/internal/gantt"
+	"repro/internal/instr"
+)
+
+// Observability wiring for the MSG layer. On top of surf's platform
+// band, the environment traces one PROCESS container per process or
+// chain (under its host), an activity state (PSTATE: compute/put/get)
+// pushed and popped alongside the existing gantt plumbing, message
+// links between the communicating processes, and the mailbox backlog
+// as root-container variables. All hooks are nil-guarded; the paired
+// counters underneath (queue depths, retries, pool scoreboards) are
+// plain always-on fields.
+
+// msgTrace holds the MSG side of a Paje trace.
+type msgTrace struct {
+	tr       *instr.Trace
+	procType string // PROCESS container type, under HOST
+	pstate   string // activity state type on processes
+	linkType string // MSG link type, spanning the platform root
+	root     string // the "platform" root container alias
+	qSendVar string // queued-sends variable on the root
+	qRecvVar string // queued-recvs variable on the root
+	nextKey  int    // deterministic message-link key counter
+}
+
+// EnableTrace attaches a Paje trace to the environment: the surf
+// platform band is enabled first, then the MSG process band on top.
+// Call it before deploying processes — containers are only created for
+// processes and chains started after this. Idempotent; nil is a no-op.
+func (env *Environment) EnableTrace(tr *instr.Trace) {
+	if tr == nil || env.trace != nil {
+		return
+	}
+	env.model.EnableTrace(tr)
+	mt := &msgTrace{tr: tr, root: env.model.TraceRoot()}
+	mt.procType = tr.DefineContainerType(env.model.TraceHostType(), "PROCESS")
+	mt.pstate = tr.DefineStateType(mt.procType, "PSTATE")
+	tr.DefineEntityValue(mt.pstate, "compute")
+	tr.DefineEntityValue(mt.pstate, "put")
+	tr.DefineEntityValue(mt.pstate, "get")
+	tr.DefineEntityValue(mt.pstate, "killed")
+	mt.linkType = tr.DefineLinkType(env.model.TraceRootType(), mt.procType, mt.procType, "MSG")
+	mt.qSendVar = tr.DefineVariableType(env.model.TraceRootType(), "queued_sends")
+	mt.qRecvVar = tr.DefineVariableType(env.model.TraceRootType(), "queued_recvs")
+	env.trace = mt
+}
+
+// Trace returns the attached Paje trace (nil when tracing is off).
+func (env *Environment) Trace() *instr.Trace {
+	if env.trace == nil {
+		return nil
+	}
+	return env.trace.tr
+}
+
+// pstateValue maps a gantt interval kind to its Paje PSTATE value, so
+// the trace and the in-memory recorder stay two views of one event.
+func pstateValue(kind gantt.Kind) string {
+	switch kind {
+	case gantt.Compute:
+		return "compute"
+	case gantt.Comm:
+		return "put"
+	default:
+		return "get"
+	}
+}
+
+// traceProcStart creates a process/chain container under its host and
+// returns its alias ("" with tracing off).
+func (env *Environment) traceProcStart(name, hostName string) string {
+	mt := env.trace
+	if mt == nil {
+		return ""
+	}
+	return mt.tr.CreateContainer(env.eng.Now(), mt.procType, env.model.HostContainer(hostName), name)
+}
+
+// traceProcEnd closes a process/chain container: an abnormal death is
+// marked with the "killed" state before the container goes away.
+func (env *Environment) traceProcEnd(alias string, open bool, err error) {
+	mt := env.trace
+	if mt == nil || alias == "" {
+		return
+	}
+	now := env.eng.Now()
+	if open {
+		mt.tr.PopState(now, mt.pstate, alias)
+	}
+	if err != nil {
+		mt.tr.SetState(now, mt.pstate, alias, "killed")
+	}
+	mt.tr.DestroyContainer(now, mt.procType, alias)
+}
+
+// linkKey mints the next deterministic message-link key.
+func (mt *msgTrace) newKey() string {
+	k := "k" + strconv.Itoa(mt.nextKey)
+	mt.nextKey++
+	return k
+}
+
+// noteQueued tracks the mailbox backlog (queued sends and receives
+// across all mailboxes). The counters are always on; with tracing
+// enabled each change is also emitted as a root-container variable.
+func (env *Environment) noteQueued(dSend, dRecv int) {
+	env.queuedSends += dSend
+	env.queuedRecvs += dRecv
+	if env.queuedSends > env.queuedPeak {
+		env.queuedPeak = env.queuedSends
+	}
+	if env.queuedRecvs > env.queuedPeak {
+		env.queuedPeak = env.queuedRecvs
+	}
+	mt := env.trace
+	if mt == nil {
+		return
+	}
+	now := env.eng.Now()
+	if dSend != 0 {
+		mt.tr.SetVariable(now, mt.qSendVar, mt.root, float64(env.queuedSends))
+	}
+	if dRecv != 0 {
+		mt.tr.SetVariable(now, mt.qRecvVar, mt.root, float64(env.queuedRecvs))
+	}
+}
+
+// SendPoolStats reports the pendingSend free list's scoreboard.
+func (env *Environment) SendPoolStats() instr.PoolStat {
+	return instr.PoolStat{Hit: env.sendPoolHit, Miss: env.sendPoolMiss, Free: len(env.sendPool)}
+}
+
+// RecvPoolStats reports the pendingRecv free list's scoreboard.
+func (env *Environment) RecvPoolStats() instr.PoolStat {
+	return instr.PoolStat{Hit: env.recvPoolHit, Miss: env.recvPoolMiss, Free: len(env.recvPool)}
+}
+
+// ChainPoolStats reports the ChainProc free list's scoreboard.
+func (env *Environment) ChainPoolStats() instr.PoolStat {
+	return instr.PoolStat{Hit: env.chainPoolHit, Miss: env.chainPoolMiss, Free: len(env.chainPool)}
+}
+
+// Retries returns how many Retry re-attempts ran in this environment.
+func (env *Environment) Retries() uint64 { return env.retries }
+
+// MetricsInto dumps the MSG layer's counters and pool scoreboards into
+// r (msg.* namespace) and delegates to the layers underneath (surf,
+// maxmin, core).
+func (env *Environment) MetricsInto(r *instr.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("msg.retries").Add(env.retries)
+	r.Gauge("msg.queued_sends").Set(float64(env.queuedSends))
+	r.Gauge("msg.queued_recvs").Set(float64(env.queuedRecvs))
+	r.Gauge("msg.queued_peak").SetMax(float64(env.queuedPeak))
+	r.Gauge("msg.live_chains").Set(float64(len(env.chains)))
+	r.SetPool("msg.send_pool", env.SendPoolStats())
+	r.SetPool("msg.recv_pool", env.RecvPoolStats())
+	r.SetPool("msg.chain_pool", env.ChainPoolStats())
+	env.model.MetricsInto(r)
+	env.eng.MetricsInto(r)
+}

@@ -80,6 +80,9 @@ type Process struct {
 	host *platform.Host
 	exec *surf.Action // in-flight execution, for suspend propagation
 
+	pajeC    string // trace container alias ("" with tracing off)
+	pajeOpen bool   // a PSTATE push awaits its pop
+
 	fn          func(*Process) error // original body, kept for auto-restart
 	autoRestart bool
 
@@ -131,6 +134,18 @@ type Environment struct {
 	// failure for respawn at that host's recovery, regardless of the
 	// per-process SetAutoRestart flag (the simgrid-run -faults switch).
 	RestartOnRecovery bool
+
+	// Observability (instr.go): optional Paje trace band, mailbox
+	// backlog counters, Retry re-attempts, and pool scoreboards. The
+	// counters are plain always-on fields; trace is nil until
+	// EnableTrace.
+	trace                       *msgTrace
+	queuedSends, queuedRecvs    int
+	queuedPeak                  int
+	retries                     uint64
+	sendPoolHit, sendPoolMiss   uint64
+	recvPoolHit, recvPoolMiss   uint64
+	chainPoolHit, chainPoolMiss uint64
 }
 
 type mailboxKey struct {
@@ -158,6 +173,8 @@ type pendingSend struct {
 	chainS   *ChainProc    // chain sender (nil for a goroutine)
 	action   *surf.Action
 	delivery *pendingRecv
+	srcC     string // sender's trace container ("" with tracing off)
+	linkKey  string // message-link key, minted at transfer start
 	// abandoned marks a record whose owner unwound (kill or contained
 	// panic) while a delivery was still pending: ownership moved to
 	// ActionDone, which recycles it after severing the cross-references.
@@ -170,7 +187,8 @@ type pendingRecv struct {
 	chainR    *ChainProc    // chain receiver (nil for a goroutine)
 	task      *Task         // filled in at completion
 	matched   *pendingSend
-	abandoned bool // see pendingSend.abandoned
+	abandoned bool   // see pendingSend.abandoned
+	dstC      string // receiver's trace container ("" with tracing off)
 }
 
 // ActionDone implements surf.Completion: the transfer finished (err is
@@ -192,6 +210,9 @@ func (ps *pendingSend) ActionDone(_ *surf.Action, cerr error) {
 		pr.task = ps.task
 	}
 	env := ps.env
+	if mt := env.trace; mt != nil && ps.linkKey != "" && pr.dstC != "" {
+		mt.tr.EndLink(env.eng.Now(), mt.linkType, mt.root, pr.dstC, ps.task.Name, ps.linkKey)
+	}
 	cs, cr := ps.chainS, pr.chainR
 	task := pr.task
 	if ps.sender != nil {
@@ -382,13 +403,16 @@ func (env *Environment) NewProcess(name, hostName string, fn func(*Process) erro
 			_ = err
 		}
 	})
+	p.pajeC = env.traceProcStart(name, h.Name)
 	if env.byHost[h.Name] == nil {
 		env.byHost[h.Name] = make(map[*Process]bool)
 	}
 	env.byHost[h.Name][p] = true
-	p.cp.OnExit(func(error) {
+	p.cp.OnExit(func(err error) {
 		delete(env.byHost[p.host.Name], p)
 		env.ganttEnd(p)
+		env.traceProcEnd(p.pajeC, p.pajeOpen, err)
+		p.pajeOpen = false
 	})
 	return p, nil
 }
@@ -535,6 +559,7 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	mb := p.env.mailbox(key)
 	ps := p.env.grabSend()
 	ps.task, ps.env, ps.srcHost, ps.sender = task, p.env, p.host, p.cp
+	ps.srcC = p.pajeC
 
 	var timer *core.Timer
 	// The single release point, on return AND on unwind (kill, contained
@@ -562,12 +587,14 @@ func (p *Process) put(task *Task, destHost string, channel int, timeout float64)
 	if len(mb.recvQ) > 0 {
 		pr := mb.recvQ[0]
 		mb.recvQ = mb.recvQ[1:]
+		p.env.noteQueued(0, -1)
 		if err := p.env.startTransfer(key, ps, pr, nil); err != nil {
 			unwound = false
 			return err
 		}
 	} else {
 		mb.sendQ = append(mb.sendQ, ps)
+		p.env.noteQueued(1, 0)
 	}
 
 	p.ganttBegin(gantt.Comm, task.Name)
@@ -594,6 +621,7 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	mb := p.env.mailbox(key)
 	pr := p.env.grabRecv()
 	pr.receiver = p.cp
+	pr.dstC = p.pajeC
 
 	var timer *core.Timer
 	// Single release point, mirroring put: cancel the timeout first,
@@ -618,6 +646,7 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 	if len(mb.sendQ) > 0 {
 		ps := mb.sendQ[0]
 		mb.sendQ = mb.sendQ[1:]
+		p.env.noteQueued(-1, 0)
 		if err := p.env.startTransfer(key, ps, pr, nil); err != nil {
 			// A goroutine ps stays with its sender: the wake above hands
 			// it back to put, which releases it. A chain ps was failed
@@ -627,6 +656,7 @@ func (p *Process) get(channel int, timeout float64) (*Task, error) {
 		}
 	} else {
 		mb.recvQ = append(mb.recvQ, pr)
+		p.env.noteQueued(0, 1)
 	}
 
 	p.ganttBegin(gantt.Wait, "recv")
@@ -688,6 +718,10 @@ func (env *Environment) startTransfer(key mailboxKey, ps *pendingSend, pr *pendi
 	ps.action = a
 	ps.delivery = pr
 	pr.matched = ps
+	if mt := env.trace; mt != nil && ps.srcC != "" {
+		ps.linkKey = mt.newKey()
+		mt.tr.StartLink(env.eng.Now(), mt.linkType, mt.root, ps.srcC, ps.task.Name, ps.linkKey)
+	}
 	if a.Done() {
 		// Already finished (e.g. the route's link is down): defer the
 		// delivery one kernel turn so both sides have blocked.
@@ -717,6 +751,7 @@ func (env *Environment) abandonSend(key mailboxKey, ps *pendingSend) {
 		for i, q := range mb.sendQ {
 			if q == ps {
 				mb.sendQ = append(mb.sendQ[:i], mb.sendQ[i+1:]...)
+				env.noteQueued(-1, 0)
 				break
 			}
 		}
@@ -734,6 +769,7 @@ func (env *Environment) abandonRecv(key mailboxKey, pr *pendingRecv) {
 	for i, q := range mb.recvQ {
 		if q == pr {
 			mb.recvQ = append(mb.recvQ[:i], mb.recvQ[i+1:]...)
+			env.noteQueued(0, -1)
 			break
 		}
 	}
@@ -752,6 +788,7 @@ func (env *Environment) timeoutSend(key mailboxKey, ps *pendingSend) {
 	for i, q := range mb.sendQ {
 		if q == ps {
 			mb.sendQ = append(mb.sendQ[:i], mb.sendQ[i+1:]...)
+			env.noteQueued(-1, 0)
 			env.eng.Wake(ps.sender, ErrTimeout)
 			return
 		}
@@ -770,6 +807,7 @@ func (env *Environment) timeoutRecv(key mailboxKey, pr *pendingRecv) {
 	for i, q := range mb.recvQ {
 		if q == pr {
 			mb.recvQ = append(mb.recvQ[:i], mb.recvQ[i+1:]...)
+			env.noteQueued(0, -1)
 			env.eng.Wake(pr.receiver, ErrTimeout)
 			return
 		}
@@ -782,11 +820,20 @@ func (p *Process) ganttBegin(kind gantt.Kind, label string) {
 	if p.env.Gantt != nil {
 		p.env.Gantt.Begin(p.Name(), kind, label, p.env.eng.Now())
 	}
+	if mt := p.env.trace; mt != nil && p.pajeC != "" {
+		mt.tr.PushState(p.env.eng.Now(), mt.pstate, p.pajeC, pstateValue(kind))
+		p.pajeOpen = true
+	}
 }
 
 func (p *Process) ganttEndNow() {
 	if p.env.Gantt != nil {
 		p.env.Gantt.End(p.Name(), p.env.eng.Now())
+	}
+	if p.pajeOpen {
+		mt := p.env.trace
+		mt.tr.PopState(p.env.eng.Now(), mt.pstate, p.pajeC)
+		p.pajeOpen = false
 	}
 }
 

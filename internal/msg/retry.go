@@ -31,6 +31,9 @@ func Retry(p *Process, pol RetryPolicy, fn func() error) error {
 	backoff := pol.Backoff
 	var err error
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.env.retries++
+		}
 		if i > 0 && backoff > 0 {
 			if serr := p.Sleep(backoff); serr != nil {
 				return serr

@@ -48,6 +48,7 @@ func (s *Simulation) divert(t *Task, err error) bool {
 	t.host = ""
 	t.execH = nil
 	t.err = nil
+	s.reschedules++
 	s.notify(t)
 	s.armReschedule()
 	return true

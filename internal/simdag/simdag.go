@@ -157,6 +157,8 @@ type Task struct {
 
 	indeg int // scratch for the cycle check
 
+	pajeC string // trace container alias, minted at first state change
+
 	// Data is a free cookie for schedulers and loaders.
 	Data any
 }
@@ -320,6 +322,11 @@ type Simulation struct {
 	watchHits []*Task
 	nDone     int
 	nFailed   int
+
+	// Observability: the task band of a Paje trace (nil when off) and
+	// the always-on count of failure-diverted reschedules.
+	trace       *dagTrace
+	reschedules uint64
 
 	// Gantt, when non-nil, records every finished task as a closed
 	// interval: compute tasks on their host's track, comm tasks on the
@@ -634,8 +641,12 @@ func (s *Simulation) checkCycles() error {
 	return nil
 }
 
-// notify runs the observer hook.
+// notify runs the observer hook (and the trace band, which sees the
+// same transitions).
 func (s *Simulation) notify(t *Task) {
+	if s.trace != nil {
+		s.traceTask(t)
+	}
 	if s.OnTaskStateChange != nil {
 		s.OnTaskStateChange(t)
 	}

@@ -14,8 +14,10 @@ func (m *Model) newAction(kind ActionKind, name string) *Action {
 		a = m.actPool[n-1]
 		m.actPool[n-1] = nil
 		m.actPool = m.actPool[:n-1]
+		m.actPoolHit++
 	} else {
 		a = &Action{}
+		m.actPoolMiss++
 	}
 	a.model = m
 	a.kind = kind

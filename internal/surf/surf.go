@@ -33,6 +33,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/instr"
 	"repro/internal/maxmin"
 	"repro/internal/platform"
 )
@@ -354,6 +355,12 @@ type resource struct {
 	host     *platform.Host
 	link     *platform.Link
 	failErr  error
+
+	// Trace bookkeeping (instr.go): container alias and last-emitted
+	// variable values, so only changed shares hit the trace.
+	pajeC    string
+	lastUtil float64
+	lastSat  float64
 }
 
 func (r *resource) effectiveCapacity() float64 {
@@ -426,6 +433,17 @@ type Model struct {
 	// turns off or on via its state trace; upper layers use it to kill
 	// the processes of failed hosts.
 	OnHostStateChange func(host *platform.Host, up bool)
+
+	// Observability (instr.go). resList is every resource in creation
+	// order — the deterministic walk order for trace emission. trace
+	// and heapDepth are nil until EnableTrace/EnableMetrics; the
+	// counters are plain always-on fields.
+	resList                 []*resource
+	trace                   *surfTrace
+	heapDepth               *instr.Weighted
+	heapPeak                int
+	actPoolHit, actPoolMiss uint64
+	resPoolHit, resPoolMiss uint64
 }
 
 // New builds the resource model for a platform, registering it with the
@@ -462,6 +480,7 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 		r.cnst.Data = r
 		h.Data = r
 		m.cpus[h.Name] = r
+		m.resList = append(m.resList, r)
 		m.scheduleTraces(r, h.Availability, h.StateTrace)
 	}
 	// endpoints of each link in the connection graph, for split-duplex
@@ -486,6 +505,7 @@ func New(eng *core.Engine, pf *platform.Platform, cfg Config) *Model {
 				m.sys.SetShared(r.cnst, false)
 			}
 			m.links[key] = r
+			m.resList = append(m.resList, r)
 			m.scheduleTraces(r, l.BandwidthTrace, l.StateTrace)
 			return r
 		}
@@ -934,8 +954,10 @@ func (m *Model) grabResources() []*resource {
 		s := m.resPool[n-1]
 		m.resPool[n-1] = nil
 		m.resPool = m.resPool[:n-1]
+		m.resPoolHit++
 		return s
 	}
+	m.resPoolMiss++
 	return make([]*resource, 0, 4)
 }
 
@@ -982,12 +1004,18 @@ func (m *Model) refresh() {
 		a.refreshEstimate(now)
 		m.heap.fix(a.heapIdx)
 	}
+	if m.trace != nil {
+		m.emitShares(now)
+	}
 }
 
 // NextEventTime implements core.Model: a heap peek, O(1) after the
 // incremental refresh.
 func (m *Model) NextEventTime(now float64) float64 {
 	m.refresh()
+	if len(m.heap) > m.heapPeak {
+		m.heapPeak = len(m.heap)
+	}
 	if len(m.heap) == 0 {
 		return math.Inf(1)
 	}
@@ -1008,6 +1036,7 @@ func (m *Model) NextEventTime(now float64) float64 {
 // instead of k interleaved pop/wake cycles.
 func (m *Model) AdvanceTo(now, t float64) {
 	m.refresh()
+	m.heapDepth.Observe(t, float64(len(m.heap)))
 	// The slack absorbs the clock's float64 resolution (otherwise the
 	// engine would spin on a next-event time that rounds to now);
 	// borderline actions collected but not yet due are re-pushed below.
@@ -1237,6 +1266,9 @@ func (m *Model) setResourceState(r *resource, up bool) {
 	}
 	r.on = up
 	m.sys.SetCapacity(r.cnst, r.effectiveCapacity())
+	if m.trace != nil {
+		m.traceResourceState(r, up)
+	}
 	if !up {
 		var victims []*Action
 		for _, e := range m.heap {
