@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,32 +26,8 @@ import (
 	"repro/internal/platform"
 	"repro/internal/simdag"
 	"repro/internal/surf"
+	"repro/internal/sweep"
 )
-
-type tierResult struct {
-	Name            string  `json:"name"`
-	Form            string  `json:"form"` // goroutine | chain | dag
-	Activities      int     `json:"activities"`
-	UsPerActivity   float64 `json:"us_per_activity"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	Spawned         int     `json:"spawned"`
-	GoroutineSpawns int     `json:"goroutine_spawns"`
-	GoroutinesPeak  int     `json:"goroutines_peak"`
-	SolverSolves    uint64  `json:"solver_solves"`
-	SolverParallel  uint64  `json:"solver_parallel_dispatches"`
-	// Pools is the per-free-list scoreboard from the tier's last run
-	// (cumulative hits/misses plus the steady-state free-list
-	// occupancy). Go maps marshal with sorted keys, so the JSON stays
-	// byte-comparable across runs of the same build.
-	Pools map[string]instr.PoolStat `json:"pools"`
-}
-
-type benchReport struct {
-	Benchmark string       `json:"benchmark"`
-	Small     bool         `json:"small"`
-	Tiers     []tierResult `json:"tiers"`
-}
 
 func main() {
 	outDir := flag.String("benchjson", ".", "directory to write BENCH_*.json into")
@@ -71,12 +46,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func write(path string, rep benchReport) {
-	data, err := json.MarshalIndent(rep, "", "  ")
+func write(path string, rep sweep.TierReport) {
+	data, err := sweep.Marshal(rep)
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d tiers)\n", path, len(rep.Tiers))
@@ -186,7 +161,7 @@ func buildChainEnv(pf *platform.Platform, nPairs, rounds int) *msg.Environment {
 	return env
 }
 
-func msgReport(small bool) benchReport {
+func msgReport(small bool) sweep.TierReport {
 	type tier struct {
 		name   string
 		pairs  int
@@ -207,7 +182,7 @@ func msgReport(small bool) benchReport {
 			{"activities-20k-chain", 2000, 5, "chain"},
 		}
 	}
-	rep := benchReport{Benchmark: "msg_scaling", Small: small}
+	rep := sweep.TierReport{SchemaVersion: sweep.SchemaVersion, Benchmark: "msg_scaling", Small: small}
 	for _, tc := range tiers {
 		tc := tc
 		activities := 2 * tc.pairs * tc.rounds
@@ -230,7 +205,7 @@ func msgReport(small bool) benchReport {
 		})
 		eng := last.Engine()
 		solver := last.Model().SolverStats()
-		rep.Tiers = append(rep.Tiers, tierResult{
+		rep.Tiers = append(rep.Tiers, sweep.TierStat{
 			Name:            tc.name,
 			Form:            tc.form,
 			Activities:      activities,
@@ -253,7 +228,7 @@ func msgReport(small bool) benchReport {
 
 // --- SimDag chain workload (mirrors BenchmarkSimDagScaling) -------------
 
-func simdagReport(small bool) benchReport {
+func simdagReport(small bool) sweep.TierReport {
 	type tier struct {
 		name   string
 		chains int
@@ -267,7 +242,7 @@ func simdagReport(small bool) benchReport {
 	if small {
 		tiers = tiers[:2]
 	}
-	rep := benchReport{Benchmark: "simdag_scaling", Small: small}
+	rep := sweep.TierReport{SchemaVersion: sweep.SchemaVersion, Benchmark: "simdag_scaling", Small: small}
 	for _, tc := range tiers {
 		tc := tc
 		pf := scalingPlatform(tc.chains)
@@ -286,7 +261,7 @@ func simdagReport(small bool) benchReport {
 		})
 		eng := last.Engine()
 		solver := last.Model().SolverStats()
-		rep.Tiers = append(rep.Tiers, tierResult{
+		rep.Tiers = append(rep.Tiers, sweep.TierStat{
 			Name:            tc.name,
 			Form:            "dag",
 			Activities:      tasks,

@@ -38,7 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for the Waxman platform and the random DAG")
 	layers := flag.Int("layers", 10, "random DAG: layers (when no workflow file is given)")
 	width := flag.Int("width", 20, "random DAG: tasks per layer")
-	sched := flag.String("sched", "minmin", "scheduler: minmin or rr (round-robin)")
+	sched := flag.String("sched", "minmin", "scheduler: minmin, rr (round-robin), or heft")
 	showGantt := flag.Bool("gantt", false, "print a labeled per-host Gantt chart")
 	ganttWidth := flag.Int("gantt-width", 100, "gantt width in columns")
 	verbose := flag.Bool("v", false, "print the per-task schedule table")
@@ -120,6 +120,13 @@ func main() {
 		err = simdag.ScheduleMinMin(sim, hosts)
 	case "rr":
 		err = simdag.ScheduleRoundRobin(sim, hosts)
+	case "heft":
+		var st *simdag.HEFTStats
+		st, err = simdag.ScheduleHEFTStats(sim, hosts, nil)
+		if err == nil {
+			fmt.Printf("heft: critical path %.4f, planned makespan %.4f, max parallelism %d\n",
+				st.CriticalPath, st.PlannedMakespan, st.MaxParallelism)
+		}
 	default:
 		err = fmt.Errorf("unknown scheduler %q", *sched)
 	}

@@ -22,7 +22,10 @@ func DefaultConfig() *Config {
 		// both on the byte-for-byte replay contract. instr is included
 		// because trace bytes must be a pure function of the run: a map
 		// walk in an emitter would reorder events between runs.
-		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag", "faults", "instr"),
+		// sweep is included because a campaign report's bytes are on the
+		// same replay contract: the grid expansion and per-run stats
+		// must be a pure function of (spec, seed) at any fanout.
+		DetPkgs: internal("core", "surf", "maxmin", "msg", "simdag", "faults", "instr", "sweep"),
 
 		// Everything under internal/ that participates in (or reports
 		// on) simulation runs. Deliberate wallclock reads — SMPI-style
@@ -36,7 +39,7 @@ func DefaultConfig() *Config {
 			"core", "surf", "maxmin", "msg", "simdag", "faults",
 			"smpi", "gras", "pastry", "validate",
 			"trace", "platform", "packet", "deploy", "gantt",
-			"instr",
+			"instr", "sweep",
 		),
 
 		// Packages PR 3 converted from Sprintf to concatenation on
@@ -51,6 +54,11 @@ func DefaultConfig() *Config {
 		// standing grant.)
 		GoroutineAllow: map[string]bool{
 			"repro/internal/core.newWorker": true,
+			// Campaign fanout workers in the sweep harness: host-side
+			// orchestration over isolated per-run engines, with results
+			// ordered by run index so scheduling never reaches the
+			// report bytes.
+			"repro/internal/sweep.Execute": true,
 		},
 
 		// Pooled types and the factory files allowed to construct or

@@ -1,0 +1,595 @@
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu,
+// IEEE TPDS 2002) — as the second reference list scheduler next to
+// min-min. Tasks are ranked by "upward rank" (mean execution cost plus
+// the most expensive mean-cost path to an exit task) and placed, in
+// decreasing rank order, on the host minimizing the earliest finish
+// time under an insertion-based policy (a task may slide into an idle
+// gap between two already-planned tasks).
+//
+// The repo's DAGs reify data movement as Comm task nodes, so the
+// paper's edge weights map onto comm-task nodes: a comm node
+// contributes its mean transfer estimate to ranks, and its
+// placement-dependent cost (zero when producer and consumer land on
+// the same host) to ready times. Cost hooks (HEFTOptions) let
+// scheduling research — and the reference test, which replays the
+// paper's canonical 10-task/3-processor example — substitute arbitrary
+// cost tables for the default flops/power and latency+bytes/bandwidth
+// estimates. Estimates only steer placement: execution always runs the
+// real contention model.
+
+package simdag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HEFTOptions customizes HEFT's cost model. Nil fields get defaults.
+type HEFTOptions struct {
+	// Cost estimates a compute task's execution time on a host.
+	// Default: flops / host power.
+	Cost func(t *Task, host string) float64
+	// CommCost estimates a comm task's transfer time from the
+	// producer's host src to a candidate consumer host dst. Default:
+	// route latency + bytes / bottleneck bandwidth; 0 when src == dst
+	// (or src is unknown).
+	CommCost func(c *Task, src, dst string) float64
+	// MeanCommCost is the placement-independent transfer estimate used
+	// in upward ranks (the paper's c̄). Default: CommCost averaged over
+	// the distinct ordered host pairs of the pool.
+	MeanCommCost func(c *Task) float64
+}
+
+// PlannedTask is one entry of HEFT's placement plan: the task, its
+// chosen host, and the planned (estimated) execution interval.
+type PlannedTask struct {
+	Task          *Task
+	Host          string
+	Start, Finish float64
+}
+
+// HEFTStats reports the scheduling-analysis byproducts of a HEFT pass:
+// the mean-cost critical path, the DAG's per-level parallelism profile,
+// and the full placement plan in scheduling (rank) order.
+type HEFTStats struct {
+	// CriticalPath is the largest upward rank: the mean-cost length of
+	// the DAG's critical path (the paper's lower-bound yardstick).
+	CriticalPath float64
+	// PlannedMakespan is the latest planned finish time — HEFT's own
+	// estimate, not the simulated makespan.
+	PlannedMakespan float64
+	// Levels counts schedulable units (computes and ptasks) per depth
+	// level: Levels[0] units have no unit ancestor, and so on.
+	Levels []int
+	// MaxParallelism and MeanParallelism summarize Levels: the widest
+	// level, and units divided by the number of levels.
+	MaxParallelism  int
+	MeanParallelism float64
+	// Plan lists the placed units in scheduling order.
+	Plan []PlannedTask
+
+	// ranks backs RankOf without freezing a map into the public schema.
+	ranks heftRanks
+}
+
+// RankOf returns a task's upward rank from the last ScheduleHEFTStats
+// plan lookup table, or NaN when the task was not ranked.
+func (st *HEFTStats) RankOf(t *Task) float64 {
+	if st == nil || st.ranks == nil {
+		return math.NaN()
+	}
+	if r, ok := st.ranks[t]; ok {
+		return r
+	}
+	return math.NaN()
+}
+
+// heftRanks is the upward-rank lookup table.
+type heftRanks = map[*Task]float64
+
+// ScheduleHEFT places unscheduled compute tasks (and, via the shared
+// pre-pass, ptasks) with the HEFT heuristic, then wires comm tasks
+// between the placements (placeComms).
+func ScheduleHEFT(s *Simulation, hosts []string) error {
+	_, err := ScheduleHEFTStats(s, hosts, nil)
+	return err
+}
+
+// ScheduleHEFTStats is ScheduleHEFT returning the rank/plan/parallelism
+// analysis alongside.
+func ScheduleHEFTStats(s *Simulation, hosts []string, opts *HEFTOptions) (*HEFTStats, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("simdag: no hosts to schedule on")
+	}
+	if err := s.checkCycles(); err != nil {
+		return nil, err
+	}
+	for _, h := range hosts {
+		if s.pf.Host(h) == nil {
+			return nil, fmt.Errorf("simdag: unknown host %q", h)
+		}
+	}
+	if err := placeParallel(s, hosts); err != nil {
+		return nil, err
+	}
+	o := resolveHEFTOptions(s, hosts, opts)
+
+	// Creation index: the deterministic tie-break everywhere below.
+	idx := make(map[*Task]int, len(s.tasks))
+	for i, t := range s.tasks {
+		idx[t] = i
+	}
+
+	topo, err := topoOrder(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Upward ranks over the full graph, in reverse topological order:
+	// rank(t) = weight(t) + max over successors rank(succ), with comm
+	// nodes weighing their mean transfer estimate (the paper's
+	// c̄(t,succ) folded into the reified edge node).
+	ranks := make(heftRanks, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		t := topo[i]
+		best := 0.0
+		for it := t.succIter(); ; {
+			succ, ok := it.next()
+			if !ok {
+				break
+			}
+			if r, ok2 := ranks[succ]; ok2 && r > best {
+				best = r
+			}
+		}
+		ranks[t] = o.weight(t) + best
+	}
+	cp := 0.0
+	for _, t := range topo {
+		if ranks[t] > cp {
+			cp = ranks[t]
+		}
+	}
+
+	// Units: everything HEFT plans an interval for — unplaced computes
+	// (to be placed), plus already-placed computes and ptasks whose
+	// spans must block their hosts. Decreasing rank order; near-ties
+	// (an ulp apart from equivalent mean-cost paths) fall back to
+	// creation order so the walk matches the paper's.
+	var units []*Task
+	for _, t := range topo {
+		switch t.kind {
+		case Compute:
+			if t.state == NotScheduled || t.state == Schedulable {
+				units = append(units, t)
+			}
+		case Parallel:
+			if t.state == Schedulable {
+				units = append(units, t)
+			}
+		}
+	}
+	sort.SliceStable(units, func(i, j int) bool {
+		ri, rj := ranks[units[i]], ranks[units[j]]
+		if d := ri - rj; d > rankTieEps || d < -rankTieEps {
+			return ri > rj
+		}
+		return idx[units[i]] < idx[units[j]]
+	})
+
+	p := &heftPlanner{
+		s:     s,
+		o:     o,
+		hosts: hosts,
+		slots: make(map[string][]heftSpan, len(hosts)),
+		aft:   make(map[*Task]float64, len(topo)),
+	}
+	st := &HEFTStats{CriticalPath: cp, ranks: ranks}
+	for _, t := range units {
+		var pl PlannedTask
+		if t.kind == Parallel {
+			pl = p.placePtask(t)
+		} else if t.state == Schedulable {
+			// Pre-placed compute: keep the host, plan around it.
+			pl = p.placeFixed(t)
+		} else {
+			var err error
+			pl, err = p.placeCompute(t)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.Plan = append(st.Plan, pl)
+		if pl.Finish > st.PlannedMakespan {
+			st.PlannedMakespan = pl.Finish
+		}
+	}
+	if err := placeComms(s); err != nil {
+		return nil, err
+	}
+
+	st.Levels = unitLevels(topo)
+	for _, n := range st.Levels {
+		if n > st.MaxParallelism {
+			st.MaxParallelism = n
+		}
+		st.MeanParallelism += float64(n)
+	}
+	if len(st.Levels) > 0 {
+		st.MeanParallelism /= float64(len(st.Levels))
+	}
+	return st, nil
+}
+
+// rankTieEps bounds the rank difference treated as a tie: equivalent
+// mean-cost paths can differ by an ulp of float summation order.
+const rankTieEps = 1e-9
+
+// heftOpts is the resolved cost model (all hooks non-nil).
+type heftOpts struct {
+	cost     func(t *Task, host string) float64
+	commCost func(c *Task, src, dst string) float64
+	meanComm func(c *Task) float64
+	hosts    []string
+	s        *Simulation
+}
+
+// weight is a task's rank contribution: mean execution cost for
+// computes, mean transfer estimate for comms, the coupled estimate for
+// placed ptasks, zero for seq points.
+func (o *heftOpts) weight(t *Task) float64 {
+	switch t.kind {
+	case Compute:
+		sum := 0.0
+		for _, h := range o.hosts {
+			sum += o.cost(t, h)
+		}
+		return sum / float64(len(o.hosts))
+	case Comm:
+		return o.meanComm(t)
+	case Parallel:
+		sum := 0.0
+		for _, h := range t.phosts {
+			sum += o.s.pf.Host(h).Power
+		}
+		if sum <= 0 {
+			return 0
+		}
+		return t.amount / sum
+	default:
+		return 0
+	}
+}
+
+func resolveHEFTOptions(s *Simulation, hosts []string, opts *HEFTOptions) *heftOpts {
+	o := &heftOpts{hosts: hosts, s: s}
+	if opts != nil && opts.Cost != nil {
+		o.cost = opts.Cost
+	} else {
+		o.cost = func(t *Task, host string) float64 {
+			return t.amount / s.pf.Host(host).Power
+		}
+	}
+	if opts != nil && opts.CommCost != nil {
+		o.commCost = opts.CommCost
+	} else {
+		o.commCost = func(c *Task, src, dst string) float64 {
+			if src == dst || src == "" || dst == "" {
+				return 0
+			}
+			route, err := s.pf.Route(src, dst)
+			if err != nil || len(route.Links) == 0 {
+				return 0
+			}
+			return route.Latency() + c.amount/route.Bottleneck()
+		}
+	}
+	if opts != nil && opts.MeanCommCost != nil {
+		o.meanComm = opts.MeanCommCost
+	} else {
+		o.meanComm = func(c *Task) float64 {
+			sum, n := 0.0, 0
+			for i := range hosts {
+				for j := range hosts {
+					if i == j {
+						continue
+					}
+					sum += o.commCost(c, hosts[i], hosts[j])
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		}
+	}
+	return o
+}
+
+// topoOrder returns every non-terminal task in a topological order
+// (Kahn over live in-degrees; ready queue drained in creation order).
+func topoOrder(s *Simulation) ([]*Task, error) {
+	order := make([]*Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		if t.terminal() {
+			t.indeg = -1
+			continue
+		}
+		c := 0
+		for it := t.predIter(); ; {
+			p, ok := it.next()
+			if !ok {
+				break
+			}
+			if !p.terminal() {
+				c++
+			}
+		}
+		t.indeg = c
+		if c == 0 {
+			order = append(order, t)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for it := order[i].succIter(); ; {
+			succ, ok := it.next()
+			if !ok {
+				break
+			}
+			if succ.indeg > 0 {
+				succ.indeg--
+				if succ.indeg == 0 {
+					order = append(order, succ)
+				}
+			}
+		}
+	}
+	live := 0
+	for _, t := range s.tasks {
+		if !t.terminal() {
+			live++
+		}
+	}
+	if len(order) != live {
+		return nil, fmt.Errorf("%w involving %d tasks", ErrCycle, live-len(order))
+	}
+	return order, nil
+}
+
+// unitLevels computes the per-level parallelism profile: a unit
+// (compute or ptask) sits one level below its deepest unit ancestor,
+// with comm and seq nodes transparent.
+func unitLevels(topo []*Task) []int {
+	depth := make(map[*Task]int, len(topo))
+	var levels []int
+	for _, t := range topo {
+		d := 0 // deepest unit-ancestor level + 1, carried through comm/seq
+		for it := t.predIter(); ; {
+			p, ok := it.next()
+			if !ok {
+				break
+			}
+			pd := depth[p]
+			switch p.kind {
+			case Compute, Parallel:
+				pd++
+			}
+			if pd > d {
+				d = pd
+			}
+		}
+		depth[t] = d
+		if t.kind == Compute || t.kind == Parallel {
+			for len(levels) <= d {
+				levels = append(levels, 0)
+			}
+			levels[d]++
+		}
+	}
+	return levels
+}
+
+// heftSpan is one planned busy interval on a host.
+type heftSpan struct{ start, end float64 }
+
+// heftPlanner carries the placement state of one HEFT pass.
+type heftPlanner struct {
+	s     *Simulation
+	o     *heftOpts
+	hosts []string
+	slots map[string][]heftSpan // per-host planned intervals, sorted
+	aft   map[*Task]float64     // planned (or actual) finish per task
+}
+
+// aftOf resolves a predecessor's finish estimate: terminal tasks
+// report their actual finish, planned units their planned finish, seq
+// points pass their deepest predecessor through, running tasks
+// estimate start + weight, and comm nodes resolve to their producer
+// plus the mean transfer estimate (callers that know the candidate
+// host use readyOn instead for host-exact comm costs).
+func (p *heftPlanner) aftOf(t *Task) float64 {
+	if t.terminal() {
+		return t.finish
+	}
+	if v, ok := p.aft[t]; ok {
+		return v
+	}
+	v := 0.0
+	switch t.kind {
+	case Seq:
+		for it := t.predIter(); ; {
+			pr, ok := it.next()
+			if !ok {
+				break
+			}
+			if a := p.aftOf(pr); a > v {
+				v = a
+			}
+		}
+	case Comm:
+		src := ""
+		for it := t.predIter(); ; {
+			pr, ok := it.next()
+			if !ok {
+				break
+			}
+			if a := p.aftOf(pr); a > v {
+				v = a
+			}
+			if src == "" {
+				src = placementHost(pr)
+			}
+		}
+		if src != "" {
+			v += p.o.meanComm(t)
+		}
+	default:
+		// Unplanned compute/ptask (e.g. running): preds + own weight.
+		for it := t.predIter(); ; {
+			pr, ok := it.next()
+			if !ok {
+				break
+			}
+			if a := p.aftOf(pr); a > v {
+				v = a
+			}
+		}
+		if t.state == Running {
+			v = t.start
+		}
+		v += p.o.weight(t)
+	}
+	p.aft[t] = v
+	return v
+}
+
+// readyOn is the earliest a task's inputs can be complete on candidate
+// host h: direct predecessors contribute their finish, comm
+// predecessors their producer's finish plus the host-exact transfer
+// cost (zero when the producer already sits on h).
+func (p *heftPlanner) readyOn(t *Task, h string) float64 {
+	ready := 0.0
+	for it := t.predIter(); ; {
+		pr, ok := it.next()
+		if !ok {
+			break
+		}
+		var v float64
+		if pr.kind == Comm {
+			v = 0
+			src := ""
+			for it2 := pr.predIter(); ; {
+				pp, ok2 := it2.next()
+				if !ok2 {
+					break
+				}
+				if a := p.aftOf(pp); a > v {
+					v = a
+				}
+				if src == "" {
+					src = placementHost(pp)
+				}
+			}
+			v += p.o.commCost(pr, src, h)
+		} else {
+			v = p.aftOf(pr)
+		}
+		if v > ready {
+			ready = v
+		}
+	}
+	return ready
+}
+
+// fit finds the earliest start ≥ ready of a length-w interval on host
+// h under the insertion policy: the first idle gap (including the open
+// tail) that can hold it.
+func (p *heftPlanner) fit(h string, ready, w float64) float64 {
+	prevEnd := 0.0
+	for _, sp := range p.slots[h] {
+		start := prevEnd
+		if ready > start {
+			start = ready
+		}
+		if start+w <= sp.start {
+			return start
+		}
+		prevEnd = sp.end
+	}
+	if ready > prevEnd {
+		return ready
+	}
+	return prevEnd
+}
+
+// occupy inserts [start, start+w) into h's interval list, keeping it
+// sorted.
+func (p *heftPlanner) occupy(h string, start, w float64) {
+	spans := p.slots[h]
+	i := len(spans)
+	for j, sp := range spans {
+		if start < sp.start {
+			i = j
+			break
+		}
+	}
+	spans = append(spans, heftSpan{})
+	copy(spans[i+1:], spans[i:])
+	spans[i] = heftSpan{start, start + w}
+	p.slots[h] = spans
+}
+
+// placeCompute commits an unplaced compute to its min-EFT host.
+func (p *heftPlanner) placeCompute(t *Task) (PlannedTask, error) {
+	bestEFT, bestStart := math.Inf(1), 0.0
+	bestHost := ""
+	for _, h := range p.hosts {
+		ready := p.readyOn(t, h)
+		w := p.o.cost(t, h)
+		start := p.fit(h, ready, w)
+		if eft := start + w; eft < bestEFT {
+			bestEFT, bestStart, bestHost = eft, start, h
+		}
+	}
+	if err := t.Schedule(bestHost); err != nil {
+		return PlannedTask{}, err
+	}
+	p.occupy(bestHost, bestStart, bestEFT-bestStart)
+	p.aft[t] = bestEFT
+	return PlannedTask{Task: t, Host: bestHost, Start: bestStart, Finish: bestEFT}, nil
+}
+
+// placeFixed plans a compute whose host is already fixed (pre-placed
+// before the HEFT call): same EFT machinery, one candidate.
+func (p *heftPlanner) placeFixed(t *Task) PlannedTask {
+	h := t.host
+	ready := p.readyOn(t, h)
+	w := p.o.cost(t, h)
+	start := p.fit(h, ready, w)
+	p.occupy(h, start, w)
+	p.aft[t] = start + w
+	return PlannedTask{Task: t, Host: h, Start: start, Finish: start + w}
+}
+
+// placePtask plans a (pre-placed) ptask: it must hold all its hosts
+// simultaneously, so it starts at the latest of its ready time and
+// every member host's planned tail (append-only — no insertion across
+// k hosts), and occupies the interval on each.
+func (p *heftPlanner) placePtask(t *Task) PlannedTask {
+	start := p.readyOn(t, t.phosts[0])
+	for _, h := range t.phosts {
+		if spans := p.slots[h]; len(spans) > 0 {
+			if tail := spans[len(spans)-1].end; tail > start {
+				start = tail
+			}
+		}
+	}
+	w := p.o.weight(t)
+	for _, h := range t.phosts {
+		p.occupy(h, start, w)
+	}
+	p.aft[t] = start + w
+	return PlannedTask{Task: t, Host: t.phosts[0], Start: start, Finish: start + w}
+}

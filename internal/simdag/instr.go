@@ -67,6 +67,13 @@ func (s *Simulation) MetricsInto(r *instr.Registry) {
 		return
 	}
 	r.Gauge("simdag.tasks").Set(float64(len(s.tasks)))
+	ptasks := 0
+	for _, t := range s.tasks {
+		if t.kind == Parallel {
+			ptasks++
+		}
+	}
+	r.Gauge("simdag.ptasks").Set(float64(ptasks))
 	r.Counter("simdag.done").Add(uint64(s.nDone))
 	r.Counter("simdag.failed").Add(uint64(s.nFailed))
 	r.Counter("simdag.reschedules").Add(s.reschedules)

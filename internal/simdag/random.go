@@ -30,6 +30,14 @@ type RandomConfig struct {
 
 	MinFlops, MaxFlops float64
 
+	// PtaskProb is the probability a layer member is generated as a
+	// parallel task (ptask) spanning PtaskSlots host slots instead of a
+	// plain compute: per-slot flops drawn from the flops range, and a
+	// ring of slot-to-slot transfers drawn from the bytes range. Zero
+	// (the default) draws nothing, so pre-existing seeds are unchanged.
+	PtaskProb  float64
+	PtaskSlots int
+
 	Seed int64
 }
 
@@ -89,10 +97,32 @@ func RandomLayered(s *Simulation, cfg RandomConfig) ([]*Task, error) {
 		}
 		return err
 	}
+	slots := cfg.PtaskSlots
+	if slots < 2 {
+		slots = 2
+	}
 	for l := 0; l < cfg.Layers; l++ {
 		cur = cur[:0]
 		for w := 0; w < cfg.Width; w++ {
-			t := s.NewTask("l"+strconv.Itoa(l)+"t"+strconv.Itoa(w), uniform(cfg.MinFlops, cfg.MaxFlops))
+			var t *Task
+			if cfg.PtaskProb > 0 && rng.Float64() < cfg.PtaskProb {
+				flops := make([]float64, slots)
+				bytes := make([][]float64, slots)
+				for i := range flops {
+					flops[i] = uniform(cfg.MinFlops, cfg.MaxFlops)
+					bytes[i] = make([]float64, slots)
+				}
+				for i := range flops {
+					bytes[i][(i+1)%slots] = uniform(cfg.MinBytes, cfg.MaxBytes)
+				}
+				var err error
+				t, err = s.NewParallelTask("l"+strconv.Itoa(l)+"p"+strconv.Itoa(w), flops, bytes)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				t = s.NewTask("l"+strconv.Itoa(l)+"t"+strconv.Itoa(w), uniform(cfg.MinFlops, cfg.MaxFlops))
+			}
 			tasks = append(tasks, t)
 			cur = append(cur, t)
 			if l == 0 {

@@ -31,22 +31,28 @@ func (s *Simulation) SetReschedulePolicy(hosts []string) {
 }
 
 // divert intercepts a would-be terminal failure: under the reschedule
-// policy, a compute task killed by its host's failure goes back to the
-// scheduler instead of Failed. Returns false when the failure should
-// proceed terminally (policy off, wrong kind, or a non-host cause —
-// comm tasks are deliberately not diverted: re-placing one between the
-// same endpoints would retry the same dead link in the same instant).
+// policy, a compute task (or ptask — any member host dying kills the
+// whole coupled activity) killed by its host's failure goes back to
+// the scheduler instead of Failed. Returns false when the failure
+// should proceed terminally (policy off, wrong kind, or a non-host
+// cause — comm tasks are deliberately not diverted: re-placing one
+// between the same endpoints would retry the same dead link in the
+// same instant).
 func (s *Simulation) divert(t *Task, err error) bool {
-	if len(s.reschedHosts) == 0 || t.kind != Compute || !errors.Is(err, ErrHostFailed) {
+	if len(s.reschedHosts) == 0 || (t.kind != Compute && t.kind != Parallel) || !errors.Is(err, ErrHostFailed) {
 		return false
 	}
 	if t.action != nil {
 		t.action.Release()
 		t.action = nil
 	}
-	t.state = NotScheduled
-	t.host = ""
-	t.execH = nil
+	if t.kind == Parallel {
+		t.unschedParallel()
+	} else {
+		t.state = NotScheduled
+		t.host = ""
+		t.execH = nil
+	}
 	t.err = nil
 	s.reschedules++
 	s.notify(t)
@@ -94,6 +100,10 @@ func (s *Simulation) reschedulePass() {
 			t.execH = nil
 			s.notify(t)
 		}
+		if t.kind == Parallel && t.state == Schedulable && s.parallelDown(t) {
+			t.unschedParallel()
+			s.notify(t)
+		}
 	}
 	for _, t := range s.tasks {
 		if t.kind == Comm && t.state == Schedulable && commNeighbourUnplaced(t) {
@@ -106,6 +116,14 @@ func (s *Simulation) reschedulePass() {
 	if len(up) == 0 {
 		s.failUnplaceable()
 		return
+	}
+	// A ptask needing more distinct hosts than survive is unplaceable
+	// on its own; failing it here (dependents cancel through the normal
+	// cascade) lets the remaining work still be re-placed below.
+	for _, t := range s.tasks {
+		if t.kind == Parallel && t.state == NotScheduled && len(t.pflops) > len(up) {
+			s.failTerminal(t, ErrUnplaceable)
+		}
 	}
 	if err := ScheduleMinMin(s, up); err != nil {
 		s.failUnplaceable()
@@ -126,7 +144,7 @@ func commNeighbourUnplaced(t *Task) bool {
 		if !ok {
 			break
 		}
-		if p.kind == Compute && p.state == NotScheduled {
+		if (p.kind == Compute || p.kind == Parallel) && p.state == NotScheduled {
 			return true
 		}
 	}
@@ -135,19 +153,20 @@ func commNeighbourUnplaced(t *Task) bool {
 		if !ok {
 			break
 		}
-		if p.kind == Compute && p.state == NotScheduled {
+		if (p.kind == Compute || p.kind == Parallel) && p.state == NotScheduled {
 			return true
 		}
 	}
 	return false
 }
 
-// failUnplaceable terminally fails every unplaced compute task: the
-// policy ran out of hosts. Their dependents cancel through the normal
-// cascade; FailedCount thus reflects only genuinely unplaceable work.
+// failUnplaceable terminally fails every unplaced compute and ptask:
+// the policy ran out of hosts. Their dependents cancel through the
+// normal cascade; FailedCount thus reflects only genuinely unplaceable
+// work.
 func (s *Simulation) failUnplaceable() {
 	for _, t := range s.tasks {
-		if t.kind == Compute && t.state == NotScheduled {
+		if (t.kind == Compute || t.kind == Parallel) && t.state == NotScheduled {
 			s.failTerminal(t, ErrUnplaceable)
 		}
 	}

@@ -21,6 +21,9 @@ func ScheduleRoundRobin(s *Simulation, hosts []string) error {
 	if len(hosts) == 0 {
 		return fmt.Errorf("simdag: no hosts to schedule on")
 	}
+	if err := placeParallel(s, hosts); err != nil {
+		return err
+	}
 	i := 0
 	for _, t := range s.tasks {
 		if t.kind != Compute || t.state != NotScheduled {
@@ -49,6 +52,11 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 	// estOf recurses over predecessors: reject cycles up front instead
 	// of overflowing the stack on a malformed graph.
 	if err := s.checkCycles(); err != nil {
+		return err
+	}
+	// Ptasks are placed first (greedy host sets), so computes that
+	// depend on one can estimate through it below.
+	if err := placeParallel(s, hosts); err != nil {
 		return err
 	}
 	power := make(map[string]float64, len(hosts))
@@ -88,7 +96,7 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 		}
 		var v float64
 		ok := true
-		if t.kind == Compute && t.host == "" {
+		if (t.kind == Compute && t.host == "") || (t.kind == Parallel && len(t.phosts) == 0) {
 			ok = false // not placed: the task is not resolvable yet
 		} else {
 			for it := t.predIter(); ; {
@@ -107,6 +115,17 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 			}
 			if ok && t.kind == Compute {
 				v += t.amount / s.pf.Host(t.host).Power
+			}
+			if ok && t.kind == Parallel {
+				// Crude coupled estimate: total work over the pooled
+				// power of the assigned host set.
+				sum := 0.0
+				for _, h := range t.phosts {
+					sum += s.pf.Host(h).Power
+				}
+				if sum > 0 {
+					v += t.amount / sum
+				}
 			}
 		}
 		memo[t] = memoEntry{v, ok}
@@ -200,17 +219,32 @@ func ScheduleMinMin(s *Simulation, hosts []string) error {
 }
 
 // commSrcHost returns the placement of a comm task's producing compute
-// predecessor ("" when there is none yet).
+// (or ptask — by convention its first host) predecessor ("" when there
+// is none yet).
 func commSrcHost(c *Task) string {
 	for it := c.predIter(); ; {
 		p, ok := it.next()
 		if !ok {
 			return ""
 		}
-		if p.kind == Compute && p.host != "" {
-			return p.host
+		if h := placementHost(p); h != "" {
+			return h
 		}
 	}
+}
+
+// placementHost reduces a task's placement to one representative host:
+// a compute's host, a ptask's first host, "" otherwise.
+func placementHost(t *Task) string {
+	switch t.kind {
+	case Compute:
+		return t.host
+	case Parallel:
+		if len(t.phosts) > 0 {
+			return t.phosts[0]
+		}
+	}
+	return ""
 }
 
 // placeComms assigns every unplaced comm task's endpoints from its
@@ -230,8 +264,8 @@ func placeComms(s *Simulation) error {
 			if !ok {
 				break
 			}
-			if p.kind == Compute && p.host != "" {
-				dst = p.host
+			if h := placementHost(p); h != "" {
+				dst = h
 				break
 			}
 		}

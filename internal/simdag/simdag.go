@@ -66,6 +66,10 @@ const (
 	// Seq is a zero-work synchronization point (fan-in/fan-out barrier);
 	// it needs no placement and completes the instant it is released.
 	Seq
+	// Parallel is a ptask (SimGrid's L07 model): one activity consuming
+	// CPU on several hosts and bandwidth between them simultaneously,
+	// completing when the whole coupled allocation has been delivered.
+	Parallel
 )
 
 func (k Kind) String() string {
@@ -76,6 +80,8 @@ func (k Kind) String() string {
 		return "comm"
 	case Seq:
 		return "seq"
+	case Parallel:
+		return "ptask"
 	default:
 		return "unknown"
 	}
@@ -142,6 +148,13 @@ type Task struct {
 	host     string // Compute placement
 	src, dst string // Comm placement
 	priority float64
+
+	// Parallel (ptask) payload and placement: pflops[i] runs on
+	// phosts[i], pbytes[i][j] moves from phosts[i] to phosts[j]
+	// (see NewParallelTask / ScheduleParallel in ptask.go).
+	phosts []string
+	pflops []float64
+	pbytes [][]float64
 
 	// Resolved placement handles, filled by Schedule/ScheduleComm so
 	// start() touches no string-keyed maps: shared per host / per pair
@@ -711,6 +724,8 @@ func (s *Simulation) start(t *Task) {
 		return
 	case Compute:
 		a, err = s.model.ExecuteHandle(t.execH, t.amount, t.priority)
+	case Parallel:
+		a, err = s.model.ExecuteParallel(t.phosts, t.pflops, t.pbytes)
 	case Comm:
 		if t.commH != nil {
 			a, err = s.model.CommunicateHandle(t.commH, t.amount)
@@ -842,9 +857,12 @@ func (s *Simulation) record(t *Task) {
 	}
 	track := t.host
 	kind := gantt.Compute
-	if t.kind == Comm {
+	switch t.kind {
+	case Comm:
 		track = t.src
 		kind = gantt.Comm
+	case Parallel:
+		track = t.phosts[0] // by convention: the ptask's first host carries its span
 	}
 	s.Gantt.Add(track, kind, t.name, t.start, t.finish)
 }

@@ -361,6 +361,12 @@ type resource struct {
 	pajeC    string
 	lastUtil float64
 	lastSat  float64
+
+	// mark dedups the resource within one ExecuteParallel expansion
+	// (compared against Model.markGen): a ptask touching the same link
+	// from several byte-matrix cells claims it once, with no per-call
+	// set allocation.
+	mark uint64
 }
 
 func (r *resource) effectiveCapacity() float64 {
@@ -428,6 +434,10 @@ type Model struct {
 	seqCompletions bool
 
 	nextSeq int64 // action creation counter (completion-sort tie-break)
+
+	// markGen is the current ExecuteParallel dedup generation (see
+	// resource.mark).
+	markGen uint64
 
 	// OnHostStateChange is invoked (in kernel context) when a host
 	// turns off or on via its state trace; upper layers use it to kill
@@ -870,14 +880,17 @@ func (m *Model) ExecuteParallel(hosts []string, flops []float64, bytes [][]float
 	a.v = m.sys.NewVariable(1, 0)
 	a.v.Data = a
 	a.resources = m.grabResources()
-	seen := make(map[*resource]bool)
+	// Claim each resource once per expansion via the generation mark —
+	// deterministic (claim order is host/matrix walk order) and free of
+	// the per-call set allocation a map would cost.
+	m.markGen++
 	use := func(r *resource, amount float64) error {
 		if !r.on {
 			return r.failErr
 		}
 		m.sys.Expand(r.cnst, a.v, amount)
-		if !seen[r] {
-			seen[r] = true
+		if r.mark != m.markGen {
+			r.mark = m.markGen
 			a.resources = append(a.resources, r)
 		}
 		return nil

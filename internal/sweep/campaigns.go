@@ -1,0 +1,81 @@
+// Bundled campaigns: the grids cmd/sweep ships with, shared with the
+// test suite so the CI lanes and the committed baseline exercise
+// exactly the code paths users get.
+
+package sweep
+
+// Baseline is the small in-CI campaign behind BENCH_sweep_baseline.json:
+// 3 platforms × 1 workload × 2 schedulers × 2 seeds = 12 runs, a couple
+// of seconds end to end.
+func Baseline() *Spec {
+	return &Spec{
+		Name: "baseline",
+		Platforms: []PlatformSpec{
+			{Name: "cluster8", Kind: "cluster", Hosts: 8},
+			{Name: "grid2x4", Kind: "multisite", Hosts: 4, Sites: 2},
+			{Name: "waxman8", Kind: "waxman", Hosts: 8, Seed: 7},
+		},
+		Workloads: []WorkloadSpec{
+			{Name: "layered-sm", Kind: "layered", Layers: 4, Width: 6},
+		},
+		Schedulers: []string{"minmin", "heft"},
+		Seeds:      []int64{1, 2},
+	}
+}
+
+// Default is the standard campaign: 3 platforms × 2 workloads ×
+// 3 schedulers × 2 seeds = 36 runs, covering every scheduler and the
+// ptask task kind.
+func Default() *Spec {
+	return &Spec{
+		Name: "default",
+		Platforms: []PlatformSpec{
+			{Name: "cluster8", Kind: "cluster", Hosts: 8},
+			{Name: "grid2x4", Kind: "multisite", Hosts: 4, Sites: 2},
+			{Name: "waxman8", Kind: "waxman", Hosts: 8, Seed: 7},
+		},
+		Workloads: []WorkloadSpec{
+			{Name: "layered-sm", Kind: "layered", Layers: 4, Width: 6},
+			{Name: "layered-ptask", Kind: "layered", Layers: 5, Width: 8,
+				PtaskProb: 0.25, PtaskSlots: 2},
+		},
+		Schedulers: []string{"minmin", "rr", "heft"},
+		Seeds:      []int64{1, 2},
+	}
+}
+
+// Faulty overlays the default shape with a host failure process and
+// rescheduling recovery: 2 platforms × 1 workload × 2 schedulers ×
+// 2 faults × 2 seeds = 16 runs.
+func Faulty() *Spec {
+	return &Spec{
+		Name: "faulty",
+		Platforms: []PlatformSpec{
+			{Name: "cluster8", Kind: "cluster", Hosts: 8},
+			{Name: "waxman8", Kind: "waxman", Hosts: 8, Seed: 7},
+		},
+		Workloads: []WorkloadSpec{
+			{Name: "layered-sm", Kind: "layered", Layers: 4, Width: 6},
+		},
+		Schedulers: []string{"minmin", "heft"},
+		Faults: []FaultSpec{
+			{Name: "none"},
+			{Name: "exp-mtbf5", MTBF: 5, MTTR: 0.5, Horizon: 60},
+		},
+		Seeds: []int64{1, 2},
+	}
+}
+
+// ByName resolves a bundled campaign.
+func ByName(name string) *Spec {
+	switch name {
+	case "baseline":
+		return Baseline()
+	case "default":
+		return Default()
+	case "faulty":
+		return Faulty()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,249 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSweepDeterminism is the campaign contract: the report's bytes are
+// a pure function of (grid, seed) — identical across repeats and across
+// fanout settings. The CI lanes repeat this through the cmd/sweep
+// binary 5× in both pooling modes; this in-process version catches
+// regressions at `go test` speed.
+func TestSweepDeterminism(t *testing.T) {
+	spec := Baseline()
+	ref, err := Execute(spec, 1, Options{Fanout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		again, err := Execute(Baseline(), 1, Options{Fanout: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refBytes, b) {
+			t.Fatalf("repeat %d: report bytes differ", rep)
+		}
+	}
+	wide, err := Execute(Baseline(), 1, Options{Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, b) {
+		t.Fatal("fanout 4 report differs from fanout 1")
+	}
+}
+
+// TestSweepSeedStability: a run's seed derives from its key, not its
+// grid position — growing an axis must not shift sibling runs' results.
+func TestSweepSeedStability(t *testing.T) {
+	small := Baseline()
+	ref, err := Execute(small, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := Baseline()
+	grown.Seeds = append(grown.Seeds, 99)
+	grown.Schedulers = append(grown.Schedulers, "rr")
+	big, err := Execute(grown, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]*RunStat, len(big.Runs))
+	for i := range big.Runs {
+		byKey[big.Runs[i].Key] = &big.Runs[i]
+	}
+	for i := range ref.Runs {
+		r := &ref.Runs[i]
+		g, ok := byKey[r.Key]
+		if !ok {
+			t.Fatalf("run %s missing from grown grid", r.Key)
+		}
+		if g.RunSeed != r.RunSeed {
+			t.Fatalf("run %s: seed shifted %d → %d", r.Key, r.RunSeed, g.RunSeed)
+		}
+		a, err := Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("run %s: stats changed when the grid grew", r.Key)
+		}
+	}
+}
+
+// TestExpandGrid checks the expansion shape: full cartesian product,
+// unique keys, grid order.
+func TestExpandGrid(t *testing.T) {
+	spec := Default()
+	runs, err := Expand(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Platforms) * len(spec.Workloads) * len(spec.Schedulers) * len(spec.Seeds)
+	if len(runs) != want {
+		t.Fatalf("expanded %d runs, want %d", len(runs), want)
+	}
+	if want < 24 {
+		t.Fatalf("default campaign has %d points, the gate needs ≥24", want)
+	}
+	seen := make(map[string]bool, len(runs))
+	for i, r := range runs {
+		if r.Index != i {
+			t.Fatalf("run %d carries index %d", i, r.Index)
+		}
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %s", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+// TestSpecValidate rejects malformed grids.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"no platforms", func(s *Spec) { s.Platforms = nil }, "at least one entry"},
+		{"no seeds", func(s *Spec) { s.Seeds = nil }, "at least one entry"},
+		{"bad scheduler", func(s *Spec) { s.Schedulers = []string{"magic"} }, "unknown scheduler"},
+		{"dup platform", func(s *Spec) {
+			s.Platforms = append(s.Platforms, s.Platforms[0])
+		}, "duplicate platform"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := Baseline()
+			tc.mut(spec)
+			err := spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultyCampaign: the fault axis injects, the reschedule policy
+// recovers, and the whole thing stays deterministic.
+func TestFaultyCampaign(t *testing.T) {
+	rep, err := Execute(Faulty(), 1, Options{Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, rescheduled := 0, uint64(0)
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.Faults == "none" {
+			if r.FaultEvents != 0 {
+				t.Fatalf("run %s: fault-free run saw %d events", r.Key, r.FaultEvents)
+			}
+			continue
+		}
+		injected += r.FaultEvents
+		rescheduled += r.Reschedules
+		if r.Done+r.Failed != r.Tasks {
+			t.Fatalf("run %s: %d done + %d failed ≠ %d tasks", r.Key, r.Done, r.Failed, r.Tasks)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("fault axis injected nothing")
+	}
+	if rescheduled == 0 {
+		t.Fatal("no run rescheduled; the policy wiring is dead")
+	}
+	again, err := Execute(Faulty(), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Marshal(rep)
+	b, _ := Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Fatal("faulty campaign is not deterministic")
+	}
+}
+
+// TestPerfSubtree: -perf attaches wall-clock stats without touching the
+// deterministic part, and is refused at fanout > 1.
+func TestPerfSubtree(t *testing.T) {
+	spec := Baseline()
+	spec.Platforms = spec.Platforms[:1]
+	spec.Seeds = spec.Seeds[:1]
+	perf, err := Execute(spec, 1, Options{Fanout: 1, Perf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perf.Runs {
+		if perf.Runs[i].Perf == nil {
+			t.Fatalf("run %s: perf requested but absent", perf.Runs[i].Key)
+		}
+		if perf.Runs[i].Perf.WallUs <= 0 {
+			t.Fatalf("run %s: non-positive wall time", perf.Runs[i].Key)
+		}
+		perf.Runs[i].Perf = nil
+	}
+	plain, err := Execute(spec, 1, Options{Fanout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Marshal(perf)
+	b, _ := Marshal(plain)
+	if !bytes.Equal(a, b) {
+		t.Fatal("stripping the perf subtree does not recover the deterministic report")
+	}
+	wide, err := Execute(spec, 1, Options{Fanout: 4, Perf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wide.Runs {
+		if wide.Runs[i].Perf != nil {
+			t.Fatal("perf stats attached at fanout > 1")
+		}
+	}
+}
+
+// TestCheckSchema: value drift passes, structural drift fails.
+func TestCheckSchema(t *testing.T) {
+	ref := []byte(`{"schema_version":1,"runs":[{"makespan":1.5,"scheduler":"minmin","ok":true}],"n":2}`)
+	cases := []struct {
+		name string
+		got  string
+		ok   bool
+	}{
+		{"identical", `{"schema_version":1,"runs":[{"makespan":1.5,"scheduler":"minmin","ok":true}],"n":2}`, true},
+		{"number drift", `{"schema_version":1,"runs":[{"makespan":9.9,"scheduler":"minmin","ok":true}],"n":7}`, true},
+		{"missing key", `{"schema_version":1,"runs":[{"scheduler":"minmin","ok":true}],"n":2}`, false},
+		{"new key", `{"schema_version":1,"runs":[{"makespan":1.5,"scheduler":"minmin","ok":true,"x":1}],"n":2}`, false},
+		{"type change", `{"schema_version":1,"runs":[{"makespan":"1.5","scheduler":"minmin","ok":true}],"n":2}`, false},
+		{"string drift", `{"schema_version":1,"runs":[{"makespan":1.5,"scheduler":"magic","ok":true}],"n":2}`, false},
+		{"bool drift", `{"schema_version":1,"runs":[{"makespan":1.5,"scheduler":"minmin","ok":false}],"n":2}`, false},
+		{"array length", `{"schema_version":1,"runs":[],"n":2}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckSchema([]byte(tc.got), ref)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckSchema = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
